@@ -1,0 +1,134 @@
+// Package pimphony's repository-level benchmark harness: one testing.B
+// target per table and figure of the paper's evaluation. Each bench
+// regenerates and prints the corresponding rows/series (run with
+// -benchtime 1x for a single regeneration):
+//
+//	go test -bench . -benchtime 1x
+//	go test -bench BenchmarkFig13 -benchtime 1x -v
+//
+// The measured-vs-paper comparison lives in EXPERIMENTS.md.
+package pimphony_test
+
+import (
+	"testing"
+
+	"pimphony/internal/experiments"
+)
+
+// runExperiment executes one experiment per benchmark iteration, printing
+// its tables once.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	printed := false
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if !printed {
+			b.Log("\n" + res.String())
+			printed = true
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Tables
+// ---------------------------------------------------------------------------
+
+// BenchmarkTable1Models regenerates Table I (model specifications and
+// derived weight/KV footprints).
+func BenchmarkTable1Models(b *testing.B) { runExperiment(b, "tab1") }
+
+// BenchmarkTable2Workloads regenerates Table II (context-length statistics
+// of the four evaluated traces, paper vs sampled).
+func BenchmarkTable2Workloads(b *testing.B) { runExperiment(b, "tab2") }
+
+// BenchmarkTable4Configs regenerates Table IV (module configurations).
+func BenchmarkTable4Configs(b *testing.B) { runExperiment(b, "tab4") }
+
+// ---------------------------------------------------------------------------
+// Figures
+// ---------------------------------------------------------------------------
+
+// BenchmarkFig2Motivation regenerates Fig. 2: compute intensity vs context
+// length and memory footprint vs (context, batch).
+func BenchmarkFig2Motivation(b *testing.B) { runExperiment(b, "fig2") }
+
+// BenchmarkFig4Utilization regenerates Fig. 4: PIM utilization at 4K vs
+// 32K context for CENT and the incremental PIMphony stages.
+func BenchmarkFig4Utilization(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFig6Partitioning regenerates Fig. 6: HFP vs TCP channel
+// activity under TP and PP.
+func BenchmarkFig6Partitioning(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7DCSExample regenerates Fig. 7: the worked scheduling
+// example (34 cycles static, 22 cycles DCS).
+func BenchmarkFig7DCSExample(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig8Breakdown regenerates Fig. 8: the static latency breakdown
+// across matrix dimensions.
+func BenchmarkFig8Breakdown(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9AttnBreakdown regenerates Fig. 9: QK^T/SV breakdown with
+// and without DCS under the row-reuse mapping (LLM-72B GQA).
+func BenchmarkFig9AttnBreakdown(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFig10InstrFootprint regenerates Fig. 10c: static vs DPA
+// instruction footprint vs context length.
+func BenchmarkFig10InstrFootprint(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig13PIMOnly regenerates Fig. 13: PIM-only throughput with
+// incremental TCP/DCS/DPA across all four models and their suites.
+func BenchmarkFig13PIMOnly(b *testing.B) { runExperiment(b, "fig13") }
+
+// BenchmarkFig14XPUPIM regenerates Fig. 14: xPU+PIM throughput with
+// incremental TCP/DCS/DPA.
+func BenchmarkFig14XPUPIM(b *testing.B) { runExperiment(b, "fig14") }
+
+// BenchmarkFig15Parallelism regenerates Fig. 15: the (TP, PP) sweep.
+func BenchmarkFig15Parallelism(b *testing.B) { runExperiment(b, "fig15") }
+
+// BenchmarkFig16Energy regenerates Fig. 16: attention energy breakdowns,
+// CENT vs CENT+PIMphony.
+func BenchmarkFig16Energy(b *testing.B) { runExperiment(b, "fig16") }
+
+// BenchmarkFig17Scalability regenerates Fig. 17: throughput vs capacity
+// and vs context length (4K-1M) for CENT and NeuPIMs.
+func BenchmarkFig17Scalability(b *testing.B) { runExperiment(b, "fig17") }
+
+// BenchmarkFig18PingPong regenerates Fig. 18: DCS vs ping-pong buffering
+// compute utilization across MHA and GQA group sizes.
+func BenchmarkFig18PingPong(b *testing.B) { runExperiment(b, "fig18") }
+
+// BenchmarkFig19Capacity regenerates Fig. 19: KV capacity utilization with
+// and without DPA across the four traces.
+func BenchmarkFig19Capacity(b *testing.B) { runExperiment(b, "fig19") }
+
+// BenchmarkFig20GPUCompare regenerates Fig. 20: A100 (flash-decoding +
+// paged-attention) vs memory-matched PIMphony systems.
+func BenchmarkFig20GPUCompare(b *testing.B) { runExperiment(b, "fig20") }
+
+// ---------------------------------------------------------------------------
+// Ablations beyond the paper's figures (design choices called out in
+// DESIGN.md)
+// ---------------------------------------------------------------------------
+
+// BenchmarkAblationIsMAC quantifies the is-MAC accumulate bypass in DCS.
+func BenchmarkAblationIsMAC(b *testing.B) { runExperiment(b, "abl-ismac") }
+
+// BenchmarkAblationOBufDepth sweeps the output-buffer depth added by
+// I/O-aware buffering.
+func BenchmarkAblationOBufDepth(b *testing.B) { runExperiment(b, "abl-obuf") }
+
+// BenchmarkAblationChunkSize sweeps the DPA allocation granularity.
+func BenchmarkAblationChunkSize(b *testing.B) { runExperiment(b, "abl-chunk") }
+
+// BenchmarkAblationTCPReduce sweeps the HUB hop cost of TCP's SV
+// reduction.
+func BenchmarkAblationTCPReduce(b *testing.B) { runExperiment(b, "abl-tcp") }
+
+// BenchmarkAblationPrefill quantifies prompt-phase cost across system
+// kinds (the Hybe/NeuPIMs phase-splitting motivation).
+func BenchmarkAblationPrefill(b *testing.B) { runExperiment(b, "abl-prefill") }

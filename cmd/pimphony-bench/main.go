@@ -1,0 +1,61 @@
+// Command pimphony-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	pimphony-bench -list
+//	pimphony-bench -run fig13
+//	pimphony-bench -run all [-csv]
+//
+// Every experiment prints the same rows/series the paper reports;
+// EXPERIMENTS.md records the paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pimphony/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	run := flag.String("run", "all", "experiment id to run, or 'all'")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := experiments.IDs()
+	if *run != "all" {
+		ids = []string{*run}
+	}
+	failed := 0
+	for _, id := range ids {
+		start := time.Now()
+		res, err := experiments.Run(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+			failed++
+			continue
+		}
+		if *csv {
+			fmt.Printf("# %s — %s\n", res.ID, res.Title)
+			for _, t := range res.Tables {
+				fmt.Print(t.CSV())
+			}
+		} else {
+			fmt.Print(res)
+		}
+		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,116 @@
+// Command pimphony-sim runs a single end-to-end decode simulation with
+// explicit knobs, printing throughput, utilization and energy.
+//
+// Examples:
+//
+//	pimphony-sim -system cent -model 7b-32k -trace QMSum
+//	pimphony-sim -system neupims -model 72b-128k-gqa -trace multifieldqa -tcp=false
+//	pimphony-sim -system gpu -model 7b-32k -trace QMSum
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"pimphony/internal/core"
+	"pimphony/internal/model"
+	"pimphony/internal/workload"
+)
+
+func modelByFlag(name string) (model.Config, error) {
+	switch strings.ToLower(name) {
+	case "7b-32k":
+		return model.LLM7B32K(), nil
+	case "7b-128k-gqa":
+		return model.LLM7B128KGQA(), nil
+	case "72b-32k":
+		return model.LLM72B32K(), nil
+	case "72b-128k-gqa":
+		return model.LLM72B128KGQA(), nil
+	default:
+		return model.Config{}, fmt.Errorf("unknown model %q (7b-32k, 7b-128k-gqa, 72b-32k, 72b-128k-gqa)", name)
+	}
+}
+
+func main() {
+	system := flag.String("system", "cent", "system preset: cent, neupims, gpu")
+	modelName := flag.String("model", "7b-32k", "model: 7b-32k, 7b-128k-gqa, 72b-32k, 72b-128k-gqa")
+	traceName := flag.String("trace", "QMSum", "workload: QMSum, Musique, multifieldqa, Loogle-SD, or uniform:<tokens>")
+	tcp := flag.Bool("tcp", true, "enable token-centric partitioning")
+	dcs := flag.Bool("dcs", true, "enable dynamic command scheduling")
+	dpa := flag.Bool("dpa", true, "enable dynamic PIM access (lazy KV allocation)")
+	tp := flag.Int("tp", 0, "override tensor parallelism (0 = preset)")
+	pp := flag.Int("pp", 0, "override pipeline parallelism (0 = preset)")
+	window := flag.Int("window", 8, "decode steps to simulate")
+	pool := flag.Int("pool", 64, "candidate request pool size")
+	seed := flag.Int64("seed", 42, "workload RNG seed")
+	flag.Parse()
+
+	m, err := modelByFlag(*modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tech := core.Technique{TCP: *tcp, DCS: *dcs, DPA: *dpa}
+	var cfg core.Config
+	switch strings.ToLower(*system) {
+	case "cent":
+		cfg = core.CENT(m, tech)
+	case "neupims":
+		cfg = core.NeuPIMs(m, tech)
+	case "gpu":
+		cfg = core.GPU(m)
+	default:
+		log.Fatalf("unknown system %q (cent, neupims, gpu)", *system)
+	}
+	if *tp > 0 && *pp > 0 {
+		cfg.TP, cfg.PP = *tp, *pp
+	}
+	cfg.DecodeWindow = *window
+
+	var gen *workload.Generator
+	if rest, ok := strings.CutPrefix(*traceName, "uniform:"); ok {
+		var tokens int
+		if _, err := fmt.Sscanf(rest, "%d", &tokens); err != nil {
+			log.Fatalf("bad uniform trace %q", *traceName)
+		}
+		gen = workload.Uniform(tokens, *seed)
+	} else {
+		tr, err := workload.ByName(*traceName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gen = workload.NewGenerator(tr, *seed)
+	}
+
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := sys.Serve(gen.Batch(*pool))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("system           %s (%s)\n", cfg.Name, rep.Kind)
+	if cfg.Kind != 2 { // not GPU
+		fmt.Printf("parallelism      TP=%d PP=%d over %d modules\n", cfg.TP, cfg.PP, cfg.Modules)
+	}
+	fmt.Printf("techniques       TCP=%v DCS=%v DPA=%v\n", *tcp, *dcs, *dpa)
+	fmt.Printf("batch            %d requests\n", rep.Batch)
+	fmt.Printf("decode window    %d steps in %.3f s\n", rep.Steps, rep.TotalSeconds)
+	fmt.Printf("throughput       %.1f tokens/s\n", rep.Throughput)
+	if rep.TBTSeconds > 0 {
+		fmt.Printf("time/token       %.2f ms (per-request TBT)\n", 1e3*rep.TBTSeconds)
+	}
+	if rep.PIMUtil > 0 {
+		fmt.Printf("PIM MAC util     %.1f%%\n", 100*rep.PIMUtil)
+		fmt.Printf("attention share  %.1f%% of iteration time\n", 100*rep.AttnTimeShare)
+		fmt.Printf("capacity util    %.1f%%\n", 100*rep.CapacityUtil)
+		att := rep.AttnEnergy
+		fmt.Printf("attn energy      %.1f uJ (MAC %.0f%%, IO %.0f%%, background %.0f%%, else %.0f%%)\n",
+			att.Total()/1e6, 100*att.MAC/att.Total(), 100*att.IO/att.Total(),
+			100*att.Background/att.Total(), 100*att.Else/att.Total())
+	}
+}

@@ -1,0 +1,54 @@
+// Longdoc models the paper's motivating scenario of long-document
+// summarization (QMSum-style meeting transcripts): highly variable context
+// lengths arriving at a PIM-only serving system. It shows why static
+// memory management wastes capacity on this workload and how each
+// PIMphony technique moves the throughput needle.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pimphony/internal/core"
+	"pimphony/internal/model"
+	"pimphony/internal/tablefmt"
+	"pimphony/internal/workload"
+)
+
+func main() {
+	m := model.LLM7B32K()
+	trace := workload.QMSum()
+	gen := workload.NewGenerator(trace, 2024)
+	requests := gen.Batch(96)
+
+	stats := workload.Summarize(requests)
+	fmt.Printf("workload: %s (%s) — mean %.0f tokens, std %.0f, range [%d, %d]\n",
+		trace.Name, trace.Suite, stats.Mean, stats.Std, stats.Min, stats.Max)
+	fmt.Printf("model: %s, T_max %d, KV %d KiB/token\n\n",
+		m.Name, m.ContextWindow, m.KVBytesPerToken()>>10)
+
+	// Incremental study: the Fig. 13 ladder on this workload.
+	cfg := core.CENT(m, core.Baseline())
+	cfg.DecodeWindow = 8
+	stages, err := core.IncrementalStudy(cfg, requests)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := tablefmt.New("long-document summarization on CENT-style PIM (8 modules, 128 GiB)",
+		"stage", "batch", "tokens/s", "pim-util%", "capacity-util%", "vs-baseline")
+	base := stages[0].Report.Throughput
+	for _, st := range stages {
+		r := st.Report
+		t.AddRow(st.Stage, r.Batch, r.Throughput, 100*r.PIMUtil, 100*r.CapacityUtil,
+			fmt.Sprintf("%.2fx", r.Throughput/base))
+	}
+	fmt.Print(t)
+
+	// The static-reservation waste in isolation: how much of the KV pool
+	// actually holds data when admission saturates.
+	full := stages[3].Report
+	fmt.Printf("\nstatic reservations strand %.0f%% of KV capacity on this trace;\n",
+		100*(1-stages[2].Report.CapacityUtil))
+	fmt.Printf("DPA's lazy 1 MiB chunks recover it (%.0f%% utilized, batch %d -> %d).\n",
+		100*full.CapacityUtil, stages[2].Report.Batch, full.Batch)
+}

@@ -1,0 +1,91 @@
+// Partition_viz renders the paper's Fig. 6 comparison as ASCII channel
+// activity maps: head-first partitioning (HFP) versus token-centric
+// partitioning (TCP) under tensor and pipeline parallelism, for the
+// two-request, two-head, four-channel example.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pimphony/internal/mapping"
+)
+
+func bar(tokens, scale int) string {
+	n := tokens / scale
+	if n > 40 {
+		n = 40
+	}
+	s := ""
+	for i := 0; i < n; i++ {
+		s += "#"
+	}
+	if tokens > 0 && n == 0 {
+		s = "#"
+	}
+	return s
+}
+
+func showAssignment(title string, a *mapping.Assignment) {
+	fmt.Printf("%s (balance %.0f%%, %d/%d channels active)\n",
+		title, 100*a.Utilization(), a.ActiveChannels(), len(a.Channels))
+	loads := a.TokenLoads()
+	for ch, works := range a.Channels {
+		desc := ""
+		for _, w := range works {
+			desc += fmt.Sprintf(" R%d.h%d:%dk", w.Req, w.KVHead, w.Tokens/1000)
+		}
+		fmt.Printf("  CH%d |%-40s|%s\n", ch, bar(loads[ch], 1024), desc)
+	}
+	fmt.Println()
+}
+
+func main() {
+	// The long-context regime of Fig. 6: request 1 has twice the context
+	// of request 2, two KV heads, four channels in one module.
+	reqs := []mapping.Request{
+		{ID: 1, Tokens: 32 << 10},
+		{ID: 2, Tokens: 16 << 10},
+	}
+
+	fmt.Println("Fig. 6 — KV-cache partitioning across PIM channels")
+	fmt.Println("(R = request, h = KV head; bar length = tokens mapped)")
+	fmt.Println()
+
+	fmt.Println("--- Tensor parallelism: both requests resident ---")
+	h, err := mapping.HFP{}.Assign(reqs, 2, 1, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	showAssignment("HFP (prior work): whole heads per channel", h)
+	c, err := mapping.TCP{}.Assign(reqs, 2, 1, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	showAssignment("TCP (PIMphony): token slices on every channel", c)
+
+	fmt.Println("--- Pipeline parallelism: one request per stage step ---")
+	for _, s := range []mapping.Strategy{mapping.HFP{}, mapping.TCP{}} {
+		grid, err := mapping.PipelineActivity(s, reqs, 2, 1, 4, 4,
+			func(step int) []int { return []int{reqs[step%2].ID} })
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: channel activity over 4 pipeline steps (active %.0f%%)\n",
+			s.Name(), 100*grid.ActiveFraction())
+		for step, row := range grid.Grid {
+			line := ""
+			for _, on := range row {
+				if on {
+					line += " [##]"
+				} else {
+					line += " [  ]"
+				}
+			}
+			fmt.Printf("  step %d:%s\n", step, line)
+		}
+		fmt.Println()
+	}
+	fmt.Println("HFP leaves channels idle whenever the stage's request does not")
+	fmt.Println("cover them; TCP activates every channel at every step (Fig. 6d/e).")
+}

@@ -1,0 +1,772 @@
+// Package cluster composes the channel-level performance model into the
+// multi-node decode simulator the paper's end-to-end evaluation needs. It
+// models PIM-only nodes in the style of CENT (near-memory PNM units execute
+// the FC projections, PIM channels execute attention), heterogeneous
+// xPU+PIM nodes in the style of NeuPIMs (an NPU executes batched GEMM,
+// overlapped with PIM attention), and the A100 GPU baseline of Fig. 20.
+//
+// Parallelism follows Sec. II-C: tensor parallelism (TP) shards KV heads
+// and FC weights across modules with a per-layer all-reduce, and pipeline
+// parallelism (PP) assigns contiguous layer ranges to module groups with
+// request-granular micro-batches (pipeline bubbles appear whenever the
+// batch cannot fill the stages — the CENT long-context collapse of
+// Fig. 17).
+package cluster
+
+import (
+	"fmt"
+
+	"pimphony/internal/energy"
+	"pimphony/internal/hub"
+	"pimphony/internal/mapping"
+	"pimphony/internal/memory"
+	"pimphony/internal/model"
+	"pimphony/internal/perfmodel"
+	"pimphony/internal/timing"
+	"pimphony/internal/workload"
+	"pimphony/internal/xpu"
+)
+
+// Kind selects the system organisation.
+type Kind uint8
+
+const (
+	// PIMOnly is a CENT-style system: FC on per-module PNM, attention on PIM.
+	PIMOnly Kind = iota
+	// XPUPIM is a NeuPIMs-style system: FC on an NPU, attention on PIM.
+	XPUPIM
+	// GPUSystem is the A100 flash-decoding + paged-attention baseline.
+	GPUSystem
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case PIMOnly:
+		return "pim-only"
+	case XPUPIM:
+		return "xpu+pim"
+	case GPUSystem:
+		return "gpu"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Technique toggles PIMphony's three co-designed techniques.
+type Technique struct {
+	TCP bool // token-centric partitioning (vs head-first)
+	DCS bool // dynamic command scheduling + I/O-aware buffering (vs static)
+	DPA bool // dynamic PIM access / lazy KV allocation (vs T_max reservation)
+}
+
+// Baseline is the all-off configuration.
+func Baseline() Technique { return Technique{} }
+
+// PIMphony is the all-on configuration.
+func PIMphony() Technique { return Technique{TCP: true, DCS: true, DPA: true} }
+
+// Config describes one simulated system.
+type Config struct {
+	Name    string
+	Kind    Kind
+	Dev     timing.Device
+	Modules int
+	TP, PP  int
+	Model   model.Config
+	Tech    Technique
+	// RowReuse applies the row-reuse KV mapping (Sec. V-C); the paper
+	// enables it for GQA models on both baselines and PIMphony.
+	RowReuse bool
+	// TMaxOverride replaces the model's context window as the static
+	// reservation size (used by the Fig. 17 long-context sweep).
+	TMaxOverride int
+	// DecodeWindow is the number of decode steps to simulate.
+	DecodeWindow int
+	// GPUs is the device count for GPUSystem configurations.
+	GPUs int
+	// MaxBatch optionally caps admission (0 = capacity-bound only).
+	MaxBatch int
+	// ContinuousBatching enables Orca-style iteration-level scheduling:
+	// requests that finish their generation length release their KV
+	// memory and the next pending request is admitted mid-window.
+	ContinuousBatching bool
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if err := c.Model.Validate(); err != nil {
+		return err
+	}
+	if c.Kind == GPUSystem {
+		if c.GPUs <= 0 {
+			return fmt.Errorf("cluster %s: GPU system needs GPUs > 0", c.Name)
+		}
+		return nil
+	}
+	if err := c.Dev.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.Modules <= 0:
+		return fmt.Errorf("cluster %s: Modules must be positive", c.Name)
+	case c.TP <= 0 || c.PP <= 0:
+		return fmt.Errorf("cluster %s: TP and PP must be positive", c.Name)
+	case c.TP*c.PP != c.Modules:
+		return fmt.Errorf("cluster %s: TP(%d) x PP(%d) != Modules(%d)", c.Name, c.TP, c.PP, c.Modules)
+	case c.TP > c.Model.KVHeads() && c.TP%c.Model.KVHeads() != 0:
+		return fmt.Errorf("cluster %s: TP(%d) beyond KV heads (%d) must shard tokens evenly", c.Name, c.TP, c.Model.KVHeads())
+	case c.TP < c.Model.KVHeads() && c.Model.KVHeads()%c.TP != 0:
+		return fmt.Errorf("cluster %s: TP(%d) must divide KV heads (%d)", c.Name, c.TP, c.Model.KVHeads())
+	case c.Model.Layers%c.PP != 0:
+		return fmt.Errorf("cluster %s: PP(%d) must divide layers (%d)", c.Name, c.PP, c.Model.Layers)
+	}
+	return nil
+}
+
+// Report is the outcome of one simulation.
+type Report struct {
+	Config       string
+	Kind         Kind
+	Batch        int
+	Steps        int
+	TotalSeconds float64
+	// Throughput is decode tokens per second (the paper's metric).
+	Throughput float64
+	// PIMUtil is aggregate MAC-pipeline utilization over the attention
+	// phase across all channels (the Fig. 4 metric). Zero for GPU systems.
+	PIMUtil float64
+	// AttnTimeShare is the attention fraction of iteration time.
+	AttnTimeShare float64
+	// CapacityUtil is the KV allocator's live/reserved ratio at admission.
+	CapacityUtil float64
+	// TBTSeconds is the mean time-between-tokens a request observes (the
+	// serving-latency counterpart of throughput: one decode iteration).
+	TBTSeconds float64
+	// Energy breakdowns (attention on PIM; FC on PNM/NPU/GPU).
+	AttnEnergy energy.Breakdown
+	FCEnergy   energy.Breakdown
+}
+
+// System is a reusable simulator instance (kernel latencies are memoized
+// across runs on the same device).
+type System struct {
+	cfg  Config
+	perf *perfmodel.Service
+	hub  *hub.Hub
+	emod energy.Model
+}
+
+// New builds a simulator for a configuration.
+func New(cfg Config) (*System, error) {
+	if cfg.DecodeWindow <= 0 {
+		cfg.DecodeWindow = 16
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &System{
+		cfg:  cfg,
+		perf: perfmodel.New(cfg.Dev),
+		hub:  hub.New(cfg.Dev),
+		emod: energy.Default(),
+	}, nil
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// tmax is the static reservation length.
+func (s *System) tmax() int {
+	if s.cfg.TMaxOverride > 0 {
+		return s.cfg.TMaxOverride
+	}
+	return s.cfg.Model.ContextWindow
+}
+
+// kvPoolBytes is the system-wide memory available for KV cache.
+func (s *System) kvPoolBytes() (int64, error) {
+	var capacity int64
+	if s.cfg.Kind == GPUSystem {
+		capacity = int64(s.cfg.GPUs) * xpu.A100().MemBytes
+	} else {
+		capacity = int64(s.cfg.Modules) * s.cfg.Dev.ModuleBytes()
+	}
+	w := s.cfg.Model.WeightBytes()
+	if w >= capacity {
+		return 0, fmt.Errorf("cluster %s: weights (%d GiB) exceed capacity (%d GiB)",
+			s.cfg.Name, w>>30, capacity>>30)
+	}
+	return capacity - w, nil
+}
+
+// admitter owns the admission state: the KV allocator, the head-first
+// per-channel budget and the FCFS pending queue. With continuous batching
+// it also refills the batch when requests complete.
+type admitter struct {
+	sys        *System
+	alloc      memory.Allocator
+	headBudget int64
+	headUsed   int64
+	headNeed   map[int]int64 // per admitted request (for release)
+	kvHeads    int
+	pending    []workload.Request
+	active     []workload.Request
+}
+
+// newAdmitter builds the allocator and admission bookkeeping.
+func (s *System) newAdmitter(reqs []workload.Request) (*admitter, error) {
+	pool, err := s.kvPoolBytes()
+	if err != nil {
+		return nil, err
+	}
+	bpt := s.cfg.Model.KVBytesPerToken()
+	var alloc memory.Allocator
+	if s.cfg.Tech.DPA {
+		a, err := memory.NewDPA(pool, bpt, memory.DefaultChunkBytes)
+		if err != nil {
+			return nil, err
+		}
+		alloc = a
+	} else {
+		a, err := memory.NewStatic(pool, bpt, s.tmax())
+		if err != nil {
+			return nil, err
+		}
+		alloc = a
+	}
+	ad := &admitter{sys: s, alloc: alloc, headNeed: make(map[int]int64), pending: reqs}
+	// Head-first placement additionally binds each (request, KV head) tile
+	// to one channel's capacity; TCP's token slices are spread over all
+	// channels and never hit this bound.
+	kvHeadsPerModule, tokenShard := s.headGeometry()
+	ad.kvHeads = kvHeadsPerModule
+	if !s.cfg.Tech.TCP {
+		ad.headBudget = int64(s.cfg.Dev.Channels) * int64(s.headCapacityTokens()) * int64(tokenShard)
+	}
+	return ad, nil
+}
+
+// fill admits pending requests FCFS until the head of the queue no longer
+// fits (strict in-order admission, as a serving queue would).
+func (a *admitter) fill() {
+	s := a.sys
+	for len(a.pending) > 0 {
+		r := a.pending[0]
+		if s.cfg.MaxBatch > 0 && len(a.active) >= s.cfg.MaxBatch {
+			return
+		}
+		// Headroom: a request must be able to grow through the decode
+		// window without eviction.
+		need := r.Context + s.cfg.DecodeWindow
+		if need > s.tmax() {
+			need = s.tmax()
+		}
+		if !a.alloc.CanAdmit(need) {
+			return
+		}
+		var headNeed int64
+		if !s.cfg.Tech.TCP {
+			// Static allocation also reserves T_max per channel tile.
+			reserve := int64(s.tmax())
+			if s.cfg.Tech.DPA {
+				reserve = int64(need)
+			}
+			headNeed = reserve * int64(a.kvHeads)
+			if a.headUsed+headNeed > a.headBudget {
+				return
+			}
+		}
+		if err := a.alloc.Admit(r.ID, r.Context); err != nil {
+			return
+		}
+		a.headUsed += headNeed
+		a.headNeed[r.ID] = headNeed
+		a.active = append(a.active, r)
+		a.pending = a.pending[1:]
+	}
+}
+
+// release frees a completed request's memory and head budget.
+func (a *admitter) release(reqID int) error {
+	if err := a.alloc.Release(reqID); err != nil {
+		return err
+	}
+	a.headUsed -= a.headNeed[reqID]
+	delete(a.headNeed, reqID)
+	for i, r := range a.active {
+		if r.ID == reqID {
+			a.active = append(a.active[:i], a.active[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// formBatch admits requests against the configured allocator and returns
+// the admitter for growth and (optionally) continuous-batching refills.
+func (s *System) formBatch(reqs []workload.Request) (*admitter, error) {
+	ad, err := s.newAdmitter(reqs)
+	if err != nil {
+		return nil, err
+	}
+	ad.fill()
+	if len(ad.active) == 0 {
+		return nil, fmt.Errorf("cluster %s: no request fits (pool %d GiB, T_max %d)",
+			s.cfg.Name, ad.alloc.CapacityBytes()>>30, s.tmax())
+	}
+	return ad, nil
+}
+
+// schedKind maps the DCS toggle to the scheduler/buffer pair.
+func (s *System) schedKind() (perfmodel.Sched, bool) {
+	if s.cfg.Tech.DCS {
+		return perfmodel.DCS, false // PIMphony OBuf geometry
+	}
+	return perfmodel.Static, true // baseline OutReg geometry
+}
+
+// headGeometry returns how TP shards attention: KV heads per module, and
+// the token-axis sharding factor once TP exceeds the head count.
+func (s *System) headGeometry() (kvHeadsPerModule, tokenShard int) {
+	kvHeadsPerModule = s.cfg.Model.KVHeads() / s.cfg.TP
+	tokenShard = 1
+	if kvHeadsPerModule == 0 {
+		kvHeadsPerModule = 1
+		tokenShard = s.cfg.TP / s.cfg.Model.KVHeads()
+	}
+	return kvHeadsPerModule, tokenShard
+}
+
+// headCapacityTokens is the KV capacity of one channel in (module-sharded)
+// tokens for a single head tile: under head-first placement a (request,
+// KV head) tile must live — and compute — within one channel, so this
+// bounds both placement and admission. Sec. IV: "a request typically
+// consumes nearly the entire memory capacity of a single PIM channel".
+func (s *System) headCapacityTokens() int {
+	m := s.cfg.Model
+	perHead := m.KVBytesPerToken() / int64(m.KVHeads()) / int64(s.cfg.PP)
+	if perHead <= 0 {
+		perHead = 1
+	}
+	return int(s.cfg.Dev.ChannelBytes() / perHead)
+}
+
+// strategy maps the TCP toggle to the partitioning strategy.
+func (s *System) strategy() mapping.Strategy {
+	if s.cfg.Tech.TCP {
+		return mapping.TCP{}
+	}
+	return mapping.HFP{CapacityTokens: s.headCapacityTokens()}
+}
+
+// epuLanes is the number of parallel EPU softmax lanes per module.
+const epuLanes = 16
+
+// attnStats carries one stage-layer attention evaluation.
+type attnStats struct {
+	cycles   timing.Cycles
+	busy     timing.Cycles // aggregate MAC-busy cycles across channels
+	macs     int64
+	ioBytes  int64
+	actPre   int64
+	channels int
+}
+
+// attentionLayer evaluates one layer's attention time on one module group
+// for the given micro-batch of requests.
+func (s *System) attentionLayer(reqs []workload.Request, tokensOf func(workload.Request) int) (attnStats, error) {
+	m := s.cfg.Model
+	// TP shards KV heads first; beyond the head count it shards the token
+	// axis across module groups (how TP-centric systems like NeuPIMs keep
+	// scaling past the head count).
+	kvHeadsPerModule := m.KVHeads() / s.cfg.TP
+	tokenShard := 1
+	if kvHeadsPerModule == 0 {
+		kvHeadsPerModule = 1
+		tokenShard = s.cfg.TP / m.KVHeads()
+	}
+	mreqs := make([]mapping.Request, len(reqs))
+	for i, r := range reqs {
+		t := (tokensOf(r) + tokenShard - 1) / tokenShard
+		mreqs[i] = mapping.Request{ID: r.ID, Tokens: t}
+	}
+	assign, err := s.strategy().Assign(mreqs, kvHeadsPerModule, m.GQAGroup, s.cfg.Dev.Channels)
+	if err != nil {
+		return attnStats{}, err
+	}
+	sc, baseline := s.schedKind()
+	var st attnStats
+	st.channels = s.cfg.Dev.Channels
+	var maxCh timing.Cycles
+	for _, works := range assign.Channels {
+		var chCycles timing.Cycles
+		for _, w := range works {
+			lat, err := s.priceAttention(w.Tokens, m.HeadDim, w.Queries, baseline, sc)
+			if err != nil {
+				return attnStats{}, err
+			}
+			chCycles += lat.Cycles
+			st.busy += lat.Breakdown.MAC
+			st.macs += lat.MACs
+			st.ioBytes += lat.IOBytes
+			st.actPre += lat.ActPre
+		}
+		if chCycles > maxCh {
+			maxCh = chCycles
+		}
+	}
+	st.cycles = maxCh
+	// EPU softmax: one per (request, query head) on this module, spread
+	// over the EPU lanes; under TCP the segments are concatenated first
+	// (no extra cost beyond the softmax itself).
+	var softmax timing.Cycles
+	qHeadsPerModule := kvHeadsPerModule * m.GQAGroup
+	for _, r := range reqs {
+		softmax += s.hub.SoftmaxCycles((tokensOf(r)+tokenShard-1)/tokenShard) * timing.Cycles(qHeadsPerModule)
+	}
+	st.cycles += softmax / epuLanes
+	// TCP pays one SV reduction per (request, KV head); the HUB performs
+	// reductions for completed heads while the channels compute the next
+	// head, so only the lane-parallel EPU residue is exposed (the paper
+	// measures < 0.2% of attention latency).
+	if s.cfg.Tech.TCP {
+		red := s.hub.ReduceCycles(s.cfg.Dev.Channels, m.HeadDim)
+		st.cycles += red * timing.Cycles(len(reqs)*kvHeadsPerModule) / epuLanes
+	}
+	return st, nil
+}
+
+// priceAttention prices one channel's attention tile. The KV mapping
+// (row-reuse vs query-resident) is a compile-time choice, so every
+// configuration gets the cheaper of the two under its own scheduler —
+// row-reuse wins under DCS because the extra WR-INP traffic hides behind
+// MAC execution (Sec. V-C), while static controllers often prefer the
+// query-resident mapping.
+func (s *System) priceAttention(tokens, headDim, queries int, baseline bool, sc perfmodel.Sched) (perfmodel.Latency, error) {
+	plain, err := s.perf.AttentionLatency(tokens, headDim, queries, false, baseline, sc)
+	if err != nil {
+		return perfmodel.Latency{}, err
+	}
+	if !s.cfg.RowReuse || queries == 1 {
+		return plain, nil
+	}
+	reuse, err := s.perf.AttentionLatency(tokens, headDim, queries, true, baseline, sc)
+	if err != nil {
+		return perfmodel.Latency{}, err
+	}
+	if reuse.Cycles < plain.Cycles {
+		return reuse, nil
+	}
+	return plain, nil
+}
+
+// npuMemGBsPerModule is the weight-read bandwidth available to the NeuPIMs
+// NPU per module. The NPU accesses DRAM through the regular channel
+// interface (not the bank-internal MAC path), so it sees GDDR6-class
+// external bandwidth rather than the 32 TB/s internal figure.
+const npuMemGBsPerModule = 1000
+
+// fcLayer evaluates one layer's FC time (seconds) for a micro-batch.
+//
+// PIM-only (CENT-style) systems run the projection GEMVs on the PIM banks
+// themselves: the time is the max of the MAC-command issue roof (one
+// command per Banks*ElemsPerTile MAC-ops per channel, at the scheduler's
+// steady-state interval) and the weight-read roof (weights stream once per
+// accumulator-file batch). xPU+PIM systems run the batched GEMM on the NPU
+// roofline instead.
+func (s *System) fcLayer(batch int) float64 {
+	m := s.cfg.Model
+	var fcFlops, fcBytes int64
+	for _, sh := range m.FCShapes() {
+		fcFlops += 2 * int64(sh.DIn) * int64(sh.DOut) * int64(sh.Count)
+		fcBytes += int64(sh.DIn) * int64(sh.DOut) * int64(sh.Count) * int64(m.ElemBytes)
+	}
+	// Per-module shard.
+	shardFlops := fcFlops / int64(s.cfg.TP)
+	shardBytes := fcBytes / int64(s.cfg.TP)
+	if s.cfg.Kind == XPUPIM {
+		return xpu.NeuPIMsNPU(npuMemGBsPerModule).OpTime(int64(batch)*shardFlops, shardBytes)
+	}
+	dev := s.cfg.Dev
+	macOpsPerCmd := int64(dev.Banks * dev.ElemsPerTile())
+	cmds := int64(batch) * shardFlops / 2 / macOpsPerCmd
+	perChannel := cmds / int64(dev.Channels)
+	interval := dev.TMAC // static controllers pace MACs at tMAC
+	if s.cfg.Tech.DCS {
+		interval = dev.TCCDS // DCS sustains the pipelined interval
+	}
+	cmdSec := float64(perChannel) * float64(interval) / cyclesPerSecond
+	// The accumulator file bounds how many requests share one weight
+	// streaming pass; the baseline OutReg re-reads weights per pair.
+	outEntries := dev.OutRegEntries()
+	if s.cfg.Tech.DCS {
+		outEntries = dev.OBufEntries()
+	}
+	passes := (batch + outEntries - 1) / outEntries
+	byteSec := float64(shardBytes*int64(passes)) / (dev.InternalBandwidth() * cyclesPerSecond)
+	if cmdSec > byteSec {
+		return cmdSec
+	}
+	return byteSec
+}
+
+// syncCycles is the per-layer TP all-reduce cost.
+func (s *System) syncCycles(batch int) timing.Cycles {
+	if s.cfg.TP <= 1 {
+		return 0
+	}
+	bytes := int64(batch) * int64(s.cfg.Model.DIn) * int64(s.cfg.Model.ElemBytes)
+	per := timing.Cycles(float64(bytes) * float64(s.cfg.TP-1) / float64(s.cfg.TP) / s.cfg.Dev.LinkBytesPerCycle)
+	return 2 * (s.cfg.Dev.LinkLatency + per) // attention-out + FFN-out
+}
+
+const cyclesPerSecond = 1e9
+
+// stageTime returns the per-stage time in seconds for a micro-batch, plus
+// the attention stats for utilization/energy accounting.
+func (s *System) stageTime(reqs []workload.Request, tokensOf func(workload.Request) int) (float64, attnStats, float64, error) {
+	layers := s.cfg.Model.Layers / s.cfg.PP
+	at, err := s.attentionLayer(reqs, tokensOf)
+	if err != nil {
+		return 0, attnStats{}, 0, err
+	}
+	attnSec := float64(at.cycles) / cyclesPerSecond
+	fcSec := s.fcLayer(len(reqs))
+	syncSec := float64(s.syncCycles(len(reqs))) / cyclesPerSecond
+	var layerSec float64
+	if s.cfg.Kind == XPUPIM {
+		// NeuPIMs sub-batch interleaving overlaps NPU GEMM with PIM GEMV;
+		// 85% of the shorter phase hides under the longer one.
+		longer, shorter := attnSec, fcSec
+		if fcSec > attnSec {
+			longer, shorter = fcSec, attnSec
+		}
+		layerSec = longer + 0.15*shorter + syncSec
+	} else {
+		layerSec = attnSec + fcSec + syncSec
+	}
+	stage := layerSec * float64(layers)
+	attnShare := attnSec / layerSec
+	// Scale the per-layer attention stats to the stage.
+	at.cycles *= timing.Cycles(layers)
+	at.busy *= timing.Cycles(layers)
+	at.macs *= int64(layers)
+	at.ioBytes *= int64(layers)
+	at.actPre *= int64(layers)
+	return stage, at, attnShare, nil
+}
+
+// Run simulates a decode window over the given candidate requests and
+// reports throughput, utilization and energy.
+func (s *System) Run(reqs []workload.Request) (*Report, error) {
+	if s.cfg.Kind == GPUSystem {
+		return s.runGPU(reqs)
+	}
+	ad, err := s.formBatch(reqs)
+	if err != nil {
+		return nil, err
+	}
+	batch := ad.active
+	alloc := ad.alloc
+	capUtil := memory.PoolUtilization(alloc)
+	grown := make(map[int]int, len(batch)) // extra tokens generated so far
+	rep := &Report{Config: s.cfg.Name, Kind: s.cfg.Kind, Batch: len(batch), Steps: s.cfg.DecodeWindow, CapacityUtil: capUtil}
+	var totalSec, attnShareAcc float64
+	var busy, span timing.Cycles
+	var channels int
+	generated := 0
+	stepsRun := 0
+	for step := 0; step < s.cfg.DecodeWindow; step++ {
+		tokensOf := func(r workload.Request) int { return r.Context + grown[r.ID] }
+		var iterSec float64
+		var stats attnStats
+		var share float64
+		if s.cfg.PP == 1 {
+			iterSec, stats, share, err = s.stageTime(batch, tokensOf)
+			if err != nil {
+				return nil, err
+			}
+			busy += stats.busy
+			span += stats.cycles
+			channels = stats.channels
+		} else {
+			// Request-granular micro-batches through PP stages:
+			// sum of per-request stage times + (PP-1) bubbles of the max.
+			var sum, max float64
+			for _, r := range batch {
+				st, stats1, share1, err := s.stageTime([]workload.Request{r}, tokensOf)
+				if err != nil {
+					return nil, err
+				}
+				sum += st
+				if st > max {
+					max = st
+				}
+				busy += stats1.busy
+				span += stats1.cycles
+				channels = stats1.channels
+				share += share1
+				stats.macs += stats1.macs
+				stats.ioBytes += stats1.ioBytes
+				stats.actPre += stats1.actPre
+			}
+			share /= float64(len(batch))
+			iterSec = sum + float64(s.cfg.PP-1)*max
+		}
+		totalSec += iterSec
+		attnShareAcc += share
+		generated += len(batch)
+		stepsRun++
+		// Advance every request by one generated token.
+		for _, r := range batch {
+			grown[r.ID]++
+			if err := alloc.Grow(r.ID, tokensOf(r)+1); err != nil {
+				// Out of headroom: freeze this request's growth (the real
+				// system would evict; the window is short enough not to).
+				grown[r.ID]--
+			}
+		}
+		// Continuous batching: retire finished requests and refill FCFS.
+		// (Collect first: release mutates the active slice batch aliases.)
+		if s.cfg.ContinuousBatching {
+			var done []int
+			for _, r := range batch {
+				if r.Decode > 0 && grown[r.ID] >= r.Decode {
+					done = append(done, r.ID)
+				}
+			}
+			for _, id := range done {
+				if err := ad.release(id); err != nil {
+					return nil, err
+				}
+			}
+			ad.fill()
+			batch = ad.active
+			if len(batch) > rep.Batch {
+				rep.Batch = len(batch)
+			}
+			if len(batch) == 0 {
+				break
+			}
+		}
+		// Attention energy for this iteration: the accumulated stats cover
+		// one module's shard (TP) of one stage (PP); all Modules perform
+		// equivalent shards, and background power accrues only over the
+		// attention phase of the iteration.
+		attnCycles := timing.Cycles(iterSec * share * cyclesPerSecond)
+		eb := s.emod.ForAggregate(s.cfg.Dev, stats.macs, stats.ioBytes, stats.actPre,
+			channels, attnCycles)
+		rep.AttnEnergy.Add(eb.Scale(float64(s.cfg.Modules)))
+		rep.FCEnergy.Add(s.fcEnergy(len(batch), iterSec))
+	}
+	rep.Steps = stepsRun
+	rep.TotalSeconds = totalSec
+	rep.Throughput = float64(generated) / totalSec
+	if stepsRun > 0 {
+		rep.AttnTimeShare = attnShareAcc / float64(stepsRun)
+		rep.TBTSeconds = totalSec / float64(stepsRun)
+	}
+	if span > 0 {
+		rep.PIMUtil = float64(busy) / (float64(span) * float64(channels))
+	}
+	return rep, nil
+}
+
+// fcEnergy coarsely prices the FC phase of one iteration: DRAM reads of all
+// sharded weights plus MAC-array energy for the batched GEMM.
+func (s *System) fcEnergy(batch int, iterSec float64) energy.Breakdown {
+	m := s.cfg.Model
+	var fcBytes int64
+	for _, sh := range m.FCShapes() {
+		fcBytes += int64(sh.DIn) * int64(sh.DOut) * int64(sh.Count) * int64(m.ElemBytes)
+	}
+	fcBytes *= int64(m.Layers)
+	macEquiv := fcBytes / int64(s.cfg.Dev.TileBytes*s.cfg.Dev.Banks) * int64(batch)
+	return energy.Breakdown{
+		MAC:        float64(macEquiv) * s.emod.MACpJ,
+		IO:         float64(batch) * float64(m.DIn*m.Layers*m.ElemBytes) * s.emod.IOpJPerByte,
+		Background: 0, // background power is attributed once, in AttnEnergy
+		Else:       float64(fcBytes) * s.emod.DRAMReadpJPerByte,
+	}
+}
+
+// PrefillSeconds estimates the prompt-processing time of one request at
+// the given context length. Prefill is the compute-bound phase (batched
+// GEMM over all prompt tokens plus causal attention, quadratic in the
+// context), so it runs on the system's dense engine: the per-module PNM
+// for PIM-only systems (their known weakness — the motivation for
+// GPU/NPU prefill offload in Hybe and NeuPIMs), the NPU for xPU+PIM, and
+// the GPU itself for the baseline.
+func (s *System) PrefillSeconds(context int) float64 {
+	m := s.cfg.Model
+	var fcFlopsPerTok int64
+	for _, sh := range m.FCShapes() {
+		fcFlopsPerTok += 2 * int64(sh.DIn) * int64(sh.DOut) * int64(sh.Count)
+	}
+	fcFlopsPerTok *= int64(m.Layers)
+	// Causal attention per layer: sum_{t=1..T} 2*2*heads*dh*t ~ 2*heads*dh*T^2.
+	attnFlops := int64(m.Layers) * 2 * int64(m.Heads) * int64(m.HeadDim) * int64(context) * int64(context)
+	flops := int64(context)*fcFlopsPerTok + attnFlops
+	weights := m.WeightBytes()
+	switch s.cfg.Kind {
+	case GPUSystem:
+		g := xpu.A100()
+		return g.OpTime(flops/int64(s.cfg.GPUs), weights/int64(s.cfg.GPUs))
+	case XPUPIM:
+		dev := xpu.NeuPIMsNPU(npuMemGBsPerModule)
+		return dev.OpTime(flops/int64(s.cfg.Modules), weights/int64(s.cfg.Modules))
+	default:
+		dev := xpu.CENTPNM(s.cfg.Dev.InternalBandwidth())
+		return dev.OpTime(flops/int64(s.cfg.Modules), weights/int64(s.cfg.Modules))
+	}
+}
+
+// runGPU evaluates the A100 baseline.
+func (s *System) runGPU(reqs []workload.Request) (*Report, error) {
+	g := xpu.A100()
+	m := s.cfg.Model
+	pool, err := s.kvPoolBytes()
+	if err != nil {
+		return nil, err
+	}
+	pool = int64(float64(pool) * g.PagedAttentionEff)
+	var batch []workload.Request
+	var kvBytes int64
+	for _, r := range reqs {
+		need := m.KVBytes(r.Context + s.cfg.DecodeWindow)
+		if kvBytes+need > pool {
+			continue
+		}
+		kvBytes += need
+		batch = append(batch, r)
+		if s.cfg.MaxBatch > 0 && len(batch) >= s.cfg.MaxBatch {
+			break
+		}
+	}
+	if len(batch) == 0 {
+		return nil, fmt.Errorf("cluster %s: no request fits on %d GPUs", s.cfg.Name, s.cfg.GPUs)
+	}
+	var fcFlopsPerReq int64
+	var weightBytes int64 = m.WeightBytes()
+	for _, sh := range m.FCShapes() {
+		fcFlopsPerReq += 2 * int64(sh.DIn) * int64(sh.DOut) * int64(sh.Count)
+	}
+	fcFlopsPerReq *= int64(m.Layers)
+	rep := &Report{Config: s.cfg.Name, Kind: GPUSystem, Batch: len(batch), Steps: s.cfg.DecodeWindow, CapacityUtil: g.PagedAttentionEff}
+	var totalSec float64
+	grown := 0
+	for step := 0; step < s.cfg.DecodeWindow; step++ {
+		var kv int64
+		for _, r := range batch {
+			kv += m.KVBytes(r.Context + grown)
+		}
+		fc := g.OpTime(int64(len(batch))*fcFlopsPerReq/int64(s.cfg.GPUs), weightBytes/int64(s.cfg.GPUs))
+		attn := g.AttentionTime(kv / int64(s.cfg.GPUs))
+		totalSec += fc + attn
+		grown++
+	}
+	rep.TotalSeconds = totalSec
+	rep.Throughput = float64(len(batch)*s.cfg.DecodeWindow) / totalSec
+	return rep, nil
+}

@@ -1,0 +1,305 @@
+// Package compiler is PIMphony's MLIR-style compilation pipeline reduced to
+// the parts the evaluation exercises: pattern-matching passes that locate
+// the PIM-amenable kernels (QK^T, SV and the FC projections) in a decoder
+// graph, and lowering passes that emit module-level PIM instruction
+// programs in two encodings — the conventional static unrolling whose
+// footprint grows linearly with the maximum context (Fig. 10a), and the
+// DPA encoding (Dyn-Loop / Dyn-Modi) whose footprint is constant
+// (Fig. 10b/c).
+package compiler
+
+import (
+	"fmt"
+
+	"pimphony/internal/ir"
+	"pimphony/internal/isa"
+	"pimphony/internal/model"
+	"pimphony/internal/timing"
+)
+
+// Class labels a detected kernel.
+type Class uint8
+
+const (
+	// QKT is the attention score kernel (token-dependent).
+	QKT Class = iota
+	// SV is the attention value kernel (token-dependent).
+	SV
+	// FC is a fully-connected projection (fixed shape).
+	FC
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case QKT:
+		return "qkt"
+	case SV:
+		return "sv"
+	case FC:
+		return "fc"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Kernel is one detected PIM-amenable kernel.
+type Kernel struct {
+	Class Class
+	Label string
+	// FC dims (valid when Class == FC).
+	DIn, DOut int
+	// HeadDim (valid for attention kernels).
+	HeadDim int
+	// TokenDependent kernels iterate over the KV cache.
+	TokenDependent bool
+}
+
+// DetectKernels walks a decoder-layer graph and extracts the kernels:
+//   - a MatMul whose right operand is a transposed KV cache is QK^T;
+//   - a MatMul of a Softmax output against a KV cache is SV;
+//   - a MatMul against a Weight is an FC projection.
+func DetectKernels(layer *ir.DecoderLayer) ([]Kernel, error) {
+	g := layer.Graph
+	if err := g.Verify(); err != nil {
+		return nil, fmt.Errorf("compiler: %w", err)
+	}
+	var out []Kernel
+	for _, n := range g.Nodes {
+		if n.Kind != ir.MatMul {
+			continue
+		}
+		lhs, rhs := g.Producer(n.Inputs[0]), g.Producer(n.Inputs[1])
+		switch {
+		case rhs != nil && rhs.Kind == ir.Transpose && isKVCache(g, rhs.Inputs[0]):
+			out = append(out, Kernel{
+				Class: QKT, Label: n.Label,
+				HeadDim:        g.Values[rhs.Inputs[0]].Shape[1],
+				TokenDependent: true,
+			})
+		case rhs != nil && rhs.Kind == ir.KVCache && lhs != nil && lhs.Kind == ir.Softmax:
+			out = append(out, Kernel{
+				Class: SV, Label: n.Label,
+				HeadDim:        g.Values[n.Inputs[1]].Shape[1],
+				TokenDependent: true,
+			})
+		case rhs != nil && rhs.Kind == ir.Weight:
+			sh := g.Values[n.Inputs[1]].Shape
+			out = append(out, Kernel{Class: FC, Label: n.Label, DIn: sh[0], DOut: sh[1]})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("compiler: no PIM kernels detected in %s", g.Name)
+	}
+	return out, nil
+}
+
+func isKVCache(g *ir.Graph, valueID int) bool {
+	p := g.Producer(valueID)
+	return p != nil && p.Kind == ir.KVCache
+}
+
+// ---------------------------------------------------------------------------
+// Lowering
+// ---------------------------------------------------------------------------
+
+// Target carries the device geometry the lowering needs.
+type Target struct {
+	Dev timing.Device
+	// TCP lowers attention kernels with token-parallel channel masks; when
+	// false the head-first mapping addresses a single channel per head.
+	TCP bool
+}
+
+// LowerFC emits the (fixed-size) program of one FC projection: the input
+// streams once, then one MAC instruction per output group with Op-size
+// covering the input tiles, and one RD-OUT per group.
+func (t Target) LowerFC(k Kernel) (*isa.Program, error) {
+	if k.Class != FC {
+		return nil, fmt.Errorf("compiler: LowerFC on %s kernel %q", k.Class, k.Label)
+	}
+	d := t.Dev
+	inTiles := ceilDiv(k.DIn, d.ElemsPerTile())
+	groups := ceilDiv(k.DOut, d.Banks*d.Channels) // dout sharded over channels
+	mask := isa.AllChannels(d.Channels)
+	p := &isa.Program{Name: k.Label}
+	p.Insts = append(p.Insts, isa.Instruction{Op: isa.WRINP, ChMask: mask, OpSize: inTiles})
+	for g := 0; g < groups; g++ {
+		p.Insts = append(p.Insts,
+			isa.Instruction{Op: isa.MAC, ChMask: mask, OpSize: inTiles, Row: g * inTiles / d.TilesPerRow(), Col: g * inTiles % d.TilesPerRow()},
+			isa.Instruction{Op: isa.RDOUT, ChMask: mask, OpSize: 1, Out: g % 2})
+	}
+	return p, validated(p)
+}
+
+// LowerAttentionDPA emits the compact DPA encoding of an attention kernel:
+// a Dyn-Loop over score/value groups whose bound resolves from the
+// request's T_cur, with Dyn-Modi striding the row/column operands. The
+// program size is independent of context length.
+func (t Target) LowerAttentionDPA(k Kernel) (*isa.Program, error) {
+	if k.Class != QKT && k.Class != SV {
+		return nil, fmt.Errorf("compiler: LowerAttentionDPA on %s kernel %q", k.Class, k.Label)
+	}
+	d := t.Dev
+	dhTiles := ceilDiv(k.HeadDim, d.ElemsPerTile())
+	mask := t.channelMask()
+	channels := 1
+	if t.TCP {
+		channels = d.Channels
+	}
+	// Tokens per loop iteration: one group of Banks keys per channel, all
+	// active channels in parallel.
+	tokensPerIter := d.Banks * channels
+	var body []isa.Instruction
+	if k.Class == QKT {
+		body = []isa.Instruction{
+			{Op: isa.DYNMODI, Target: 0, Field: isa.FieldCol, Stride: dhTiles},
+			{Op: isa.MAC, ChMask: mask, OpSize: dhTiles},
+			{Op: isa.RDOUT, ChMask: mask, OpSize: 1},
+		}
+	} else {
+		// SV: stream one score tile per iteration and accumulate into the
+		// head-dim output groups.
+		body = []isa.Instruction{
+			{Op: isa.DYNMODI, Target: 1, Field: isa.FieldCol, Stride: dhTiles},
+			{Op: isa.WRINP, ChMask: mask, OpSize: 1},
+			{Op: isa.MAC, ChMask: mask, OpSize: dhTiles},
+		}
+	}
+	p := &isa.Program{Name: k.Label + "-dpa"}
+	if k.Class == QKT {
+		p.Insts = append(p.Insts, isa.Instruction{Op: isa.WRINP, ChMask: mask, OpSize: dhTiles}) // query tiles
+	}
+	p.Insts = append(p.Insts, isa.Instruction{Op: isa.DYNLOOP,
+		Bound: isa.LoopBound{TokensPerIter: tokensPerIter}, Body: body})
+	if k.Class == SV {
+		p.Insts = append(p.Insts, isa.Instruction{Op: isa.RDOUT, ChMask: mask, OpSize: dhTiles})
+	}
+	return p, validated(p)
+}
+
+// LowerAttentionStatic emits the conventional fully unrolled encoding for a
+// maximum context length: one MAC (and RD-OUT / WR-INP) instruction group
+// per token group, with physical addresses fixed at compile time. The
+// program size grows linearly with tmax.
+func (t Target) LowerAttentionStatic(k Kernel, tmax int) (*isa.Program, error) {
+	if k.Class != QKT && k.Class != SV {
+		return nil, fmt.Errorf("compiler: LowerAttentionStatic on %s kernel %q", k.Class, k.Label)
+	}
+	if tmax <= 0 {
+		return nil, fmt.Errorf("compiler: tmax must be positive, got %d", tmax)
+	}
+	d := t.Dev
+	dhTiles := ceilDiv(k.HeadDim, d.ElemsPerTile())
+	mask := t.channelMask()
+	channels := 1
+	if t.TCP {
+		channels = d.Channels
+	}
+	groups := ceilDiv(tmax, d.Banks*channels)
+	p := &isa.Program{Name: fmt.Sprintf("%s-static-%d", k.Label, tmax)}
+	if k.Class == QKT {
+		p.Insts = append(p.Insts, isa.Instruction{Op: isa.WRINP, ChMask: mask, OpSize: dhTiles})
+		for g := 0; g < groups; g++ {
+			p.Insts = append(p.Insts,
+				isa.Instruction{Op: isa.MAC, ChMask: mask, OpSize: dhTiles, Col: g * dhTiles},
+				isa.Instruction{Op: isa.RDOUT, ChMask: mask, OpSize: 1})
+		}
+	} else {
+		for g := 0; g < groups; g++ {
+			p.Insts = append(p.Insts,
+				isa.Instruction{Op: isa.WRINP, ChMask: mask, OpSize: 1},
+				isa.Instruction{Op: isa.MAC, ChMask: mask, OpSize: dhTiles, Col: g * dhTiles})
+		}
+		p.Insts = append(p.Insts, isa.Instruction{Op: isa.RDOUT, ChMask: mask, OpSize: dhTiles})
+	}
+	return p, validated(p)
+}
+
+func (t Target) channelMask() uint32 {
+	if t.TCP {
+		return isa.AllChannels(t.Dev.Channels)
+	}
+	return 1 // head-first: one channel per head kernel
+}
+
+func validated(p *isa.Program) error {
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("compiler: emitted invalid program %q: %w", p.Name, err)
+	}
+	return nil
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// ---------------------------------------------------------------------------
+// Whole-model compilation and footprint accounting (Fig. 10c)
+// ---------------------------------------------------------------------------
+
+// Compiled is the result of compiling one model for one target.
+type Compiled struct {
+	Model   model.Config
+	Target  Target
+	Kernels []Kernel
+	// DPAttn are the DPA-encoded attention programs (one per kernel).
+	DPAttn []*isa.Program
+	// FCProgs are the projection programs.
+	FCProgs []*isa.Program
+}
+
+// Compile builds the decoder-layer graph, detects kernels and lowers them.
+func Compile(cfg model.Config, target Target) (*Compiled, error) {
+	layer, err := ir.BuildDecoderLayer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	kernels, err := DetectKernels(layer)
+	if err != nil {
+		return nil, err
+	}
+	c := &Compiled{Model: cfg, Target: target, Kernels: kernels}
+	for _, k := range kernels {
+		switch k.Class {
+		case FC:
+			p, err := target.LowerFC(k)
+			if err != nil {
+				return nil, err
+			}
+			c.FCProgs = append(c.FCProgs, p)
+		default:
+			p, err := target.LowerAttentionDPA(k)
+			if err != nil {
+				return nil, err
+			}
+			c.DPAttn = append(c.DPAttn, p)
+		}
+	}
+	return c, nil
+}
+
+// DPAFootprint is the per-layer attention instruction footprint under the
+// DPA encoding (context-independent).
+func (c *Compiled) DPAFootprint() int64 {
+	var n int64
+	for _, p := range c.DPAttn {
+		n += p.EncodedSize()
+	}
+	return n
+}
+
+// StaticFootprint is the per-layer attention instruction footprint under
+// static unrolling for the given maximum context.
+func (c *Compiled) StaticFootprint(tmax int) (int64, error) {
+	var n int64
+	for _, k := range c.Kernels {
+		if k.Class == FC {
+			continue
+		}
+		p, err := c.Target.LowerAttentionStatic(k, tmax)
+		if err != nil {
+			return 0, err
+		}
+		n += p.EncodedSize()
+	}
+	return n, nil
+}

@@ -1,0 +1,249 @@
+// Package core is PIMphony's public orchestration API: it wires the
+// compiler (kernel detection and PIM program lowering), the on-module
+// dispatcher (DPA program loading and per-request state) and the
+// multi-node cluster simulator behind one facade, and provides the
+// paper's evaluated system presets (CENT-style PIM-only and NeuPIMs-style
+// xPU+PIM, Table IV / Sec. VIII-A).
+//
+// Typical use:
+//
+//	cfg := core.CENT(model.LLM7B32K(), core.PIMphony())
+//	sys, err := core.NewSystem(cfg)
+//	rep, err := sys.Serve(workload.NewGenerator(workload.QMSum(), 1).Batch(64))
+//
+// The incremental study helper reproduces the +TCP/+DCS/+DPA bars of the
+// paper's Fig. 13/14.
+package core
+
+import (
+	"fmt"
+
+	"pimphony/internal/cluster"
+	"pimphony/internal/compiler"
+	"pimphony/internal/dispatch"
+	"pimphony/internal/model"
+	"pimphony/internal/timing"
+	"pimphony/internal/workload"
+)
+
+// Technique re-exports the cluster toggles.
+type Technique = cluster.Technique
+
+// Baseline returns the all-off technique set (the prior-work PIM stack).
+func Baseline() Technique { return cluster.Baseline() }
+
+// PIMphony returns the full technique set (TCP + DCS + DPA).
+func PIMphony() Technique { return cluster.PIMphony() }
+
+// Report re-exports the cluster report.
+type Report = cluster.Report
+
+// Config is a fully specified system to simulate.
+type Config = cluster.Config
+
+// optimalParallelism picks the paper's "optimal TP/PP" default: maximise
+// tensor parallelism up to the KV-head count, pipeline the rest.
+func optimalParallelism(m model.Config, modules int) (tp, pp int) {
+	tp = m.KVHeads()
+	if tp > modules {
+		tp = modules
+	}
+	for modules%tp != 0 {
+		tp--
+	}
+	pp = modules / tp
+	for pp > 1 && m.Layers%pp != 0 {
+		tp, pp = tp*pp, 1 // fall back to pure TP if layers do not divide
+	}
+	return tp, pp
+}
+
+// CENT returns the PIM-only preset: 16 GiB modules with 32 PIM channels;
+// 8 modules (128 GiB) for 7B-class models, 32 modules (512 GiB) for
+// 72B-class models.
+func CENT(m model.Config, tech Technique) Config {
+	modules := 8
+	if m.DIn > 4096 {
+		modules = 32
+	}
+	dev := timing.AiM16().WithChannels(32).WithCapacity(16 << 30)
+	tp, pp := optimalParallelism(m, modules)
+	return Config{
+		Name:         fmt.Sprintf("cent-%s", m.Name),
+		Kind:         cluster.PIMOnly,
+		Dev:          dev,
+		Modules:      modules,
+		TP:           tp,
+		PP:           pp,
+		Model:        m,
+		Tech:         tech,
+		RowReuse:     m.IsGQA(),
+		DecodeWindow: 4,
+	}
+}
+
+// NeuPIMs returns the xPU+PIM preset: 32 GiB modules with an NPU; 4
+// modules (128 GiB) for 7B-class models, 16 modules (512 GiB) for
+// 72B-class models. NeuPIMs scales through tensor parallelism only,
+// sharding the token axis across module groups once TP exceeds the KV-head
+// count (the stability the paper notes in Fig. 17).
+func NeuPIMs(m model.Config, tech Technique) Config {
+	modules := 4
+	if m.DIn > 4096 {
+		modules = 16
+	}
+	dev := timing.AiM16().WithChannels(32).WithCapacity(32 << 30)
+	tp, pp := modules, 1
+	return Config{
+		Name:         fmt.Sprintf("neupims-%s", m.Name),
+		Kind:         cluster.XPUPIM,
+		Dev:          dev,
+		Modules:      modules,
+		TP:           tp,
+		PP:           pp,
+		Model:        m,
+		Tech:         tech,
+		RowReuse:     m.IsGQA(),
+		DecodeWindow: 4,
+	}
+}
+
+// GPU returns the A100 baseline of Fig. 20: GPU memory matched to the PIM
+// system (two A100-80GB for 7B models, eight for 72B).
+func GPU(m model.Config) Config {
+	gpus := 2
+	if m.DIn > 4096 {
+		gpus = 8
+	}
+	return Config{
+		Name:         fmt.Sprintf("a100x%d-%s", gpus, m.Name),
+		Kind:         cluster.GPUSystem,
+		Model:        m,
+		GPUs:         gpus,
+		DecodeWindow: 4,
+	}
+}
+
+// System is the orchestrator facade: a compiled model, per-module
+// dispatchers and the cluster simulator.
+type System struct {
+	cfg      Config
+	sim      *cluster.System
+	compiled *compiler.Compiled
+	// dispatchers is one on-module dispatcher per module (nil for GPU
+	// systems, which have no PIM modules).
+	dispatchers []*dispatch.Dispatcher
+}
+
+// NewSystem compiles the model for the configured target, loads the DPA
+// programs into every module's dispatcher and prepares the simulator.
+func NewSystem(cfg Config) (*System, error) {
+	sim, err := cluster.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, sim: sim}
+	if cfg.Kind == cluster.GPUSystem {
+		return s, nil
+	}
+	comp, err := compiler.Compile(cfg.Model, compiler.Target{Dev: cfg.Dev, TCP: cfg.Tech.TCP})
+	if err != nil {
+		return nil, fmt.Errorf("core: compiling %s: %w", cfg.Model.Name, err)
+	}
+	s.compiled = comp
+	for i := 0; i < cfg.Modules; i++ {
+		d := dispatch.New(cfg.Dev)
+		for _, p := range comp.DPAttn {
+			if err := d.LoadProgram(p); err != nil {
+				return nil, fmt.Errorf("core: module %d: %w", i, err)
+			}
+		}
+		for _, p := range comp.FCProgs {
+			if err := d.LoadProgram(p); err != nil {
+				return nil, fmt.Errorf("core: module %d: %w", i, err)
+			}
+		}
+		s.dispatchers = append(s.dispatchers, d)
+	}
+	return s, nil
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Compiled exposes the compilation result (nil for GPU systems).
+func (s *System) Compiled() *compiler.Compiled { return s.compiled }
+
+// InstructionFootprint reports the per-layer attention instruction bytes
+// for this system: the DPA encoding when DPA is enabled, otherwise the
+// static unrolling at the model's context window.
+func (s *System) InstructionFootprint() (int64, error) {
+	if s.compiled == nil {
+		return 0, fmt.Errorf("core: %s has no PIM programs", s.cfg.Name)
+	}
+	if s.cfg.Tech.DPA {
+		return s.compiled.DPAFootprint(), nil
+	}
+	tmax := s.cfg.TMaxOverride
+	if tmax == 0 {
+		tmax = s.cfg.Model.ContextWindow
+	}
+	return s.compiled.StaticFootprint(tmax)
+}
+
+// Serve simulates a decode window over the candidate requests, registering
+// them with the module dispatchers first (DPA systems track per-request
+// token state on-module).
+func (s *System) Serve(reqs []workload.Request) (*Report, error) {
+	if s.cfg.Kind != cluster.GPUSystem && s.cfg.Tech.DPA && len(s.dispatchers) > 0 {
+		prog := s.compiled.DPAttn[0].Name
+		d := s.dispatchers[0]
+		for _, r := range reqs {
+			// Registration is idempotent per request across Serve calls.
+			if _, err := d.TCur(r.ID); err == nil {
+				continue
+			}
+			if err := d.Register(r.ID, r.Context, prog); err != nil {
+				return nil, fmt.Errorf("core: registering request %d: %w", r.ID, err)
+			}
+		}
+	}
+	return s.sim.Run(reqs)
+}
+
+// StageResult is one bar of the incremental technique study.
+type StageResult struct {
+	Stage  string
+	Tech   Technique
+	Report *Report
+}
+
+// Stages returns the incremental technique ladder of Fig. 13/14.
+func Stages() []StageResult {
+	return []StageResult{
+		{Stage: "baseline", Tech: Technique{}},
+		{Stage: "+TCP", Tech: Technique{TCP: true}},
+		{Stage: "+DCS", Tech: Technique{TCP: true, DCS: true}},
+		{Stage: "+DPA", Tech: Technique{TCP: true, DCS: true, DPA: true}},
+	}
+}
+
+// IncrementalStudy runs the technique ladder on copies of a configuration,
+// returning one report per stage.
+func IncrementalStudy(cfg Config, reqs []workload.Request) ([]StageResult, error) {
+	stages := Stages()
+	for i := range stages {
+		c := cfg
+		c.Tech = stages[i].Tech
+		sys, err := NewSystem(c)
+		if err != nil {
+			return nil, fmt.Errorf("core: stage %s: %w", stages[i].Stage, err)
+		}
+		rep, err := sys.Serve(reqs)
+		if err != nil {
+			return nil, fmt.Errorf("core: stage %s: %w", stages[i].Stage, err)
+		}
+		stages[i].Report = rep
+	}
+	return stages, nil
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+
+	"pimphony/internal/cluster"
+	"pimphony/internal/model"
+	"pimphony/internal/workload"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for _, m := range model.All() {
+		for _, cfg := range []Config{CENT(m, Baseline()), NeuPIMs(m, PIMphony()), GPU(m)} {
+			if _, err := cluster.New(cfg); err != nil {
+				t.Errorf("%s: %v", cfg.Name, err)
+			}
+		}
+	}
+}
+
+func TestOptimalParallelism(t *testing.T) {
+	cases := []struct {
+		m       model.Config
+		modules int
+		tp, pp  int
+	}{
+		{model.LLM7B32K(), 8, 8, 1},       // KV heads 32 >= 8 modules
+		{model.LLM7B128KGQA(), 8, 8, 1},   // KV heads 8
+		{model.LLM72B32K(), 32, 32, 1},    // KV heads 64
+		{model.LLM72B128KGQA(), 32, 8, 4}, // KV heads 8 -> TP8 x PP4 (CENT)
+		{model.LLM72B128KGQA(), 16, 8, 2},
+	}
+	for _, c := range cases {
+		tp, pp := optimalParallelism(c.m, c.modules)
+		if tp != c.tp || pp != c.pp {
+			t.Errorf("%s x%d: got TP%d/PP%d, want TP%d/PP%d", c.m.Name, c.modules, tp, pp, c.tp, c.pp)
+		}
+		if tp*pp != c.modules {
+			t.Errorf("%s x%d: TP*PP != modules", c.m.Name, c.modules)
+		}
+	}
+}
+
+func TestNewSystemLoadsPrograms(t *testing.T) {
+	sys, err := NewSystem(CENT(model.LLM7B32K(), PIMphony()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Compiled() == nil {
+		t.Fatal("compiled model missing")
+	}
+	if len(sys.dispatchers) != 8 {
+		t.Fatalf("dispatchers = %d, want 8", len(sys.dispatchers))
+	}
+	if sys.dispatchers[0].BufferUsed() == 0 {
+		t.Fatal("programs not loaded")
+	}
+}
+
+func TestServeEndToEnd(t *testing.T) {
+	sys, err := NewSystem(CENT(model.LLM7B32K(), PIMphony()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := workload.NewGenerator(workload.QMSum(), 3).Batch(32)
+	rep, err := sys.Serve(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Throughput <= 0 || rep.Batch <= 0 {
+		t.Fatalf("bad report: %+v", rep)
+	}
+	// Serving again must not trip duplicate registration.
+	if _, err := sys.Serve(reqs); err != nil {
+		t.Fatalf("second Serve failed: %v", err)
+	}
+}
+
+func TestInstructionFootprintSwitches(t *testing.T) {
+	m := model.LLM7B128KGQA()
+	withDPA, err := NewSystem(CENT(m, PIMphony()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	noDPA, err := NewSystem(CENT(m, Technique{TCP: true, DCS: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := withDPA.InstructionFootprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := noDPA.InstructionFootprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fd >= fs {
+		t.Errorf("DPA footprint (%d B) should be far below static (%d B)", fd, fs)
+	}
+	gpu, err := NewSystem(GPU(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gpu.InstructionFootprint(); err == nil {
+		t.Error("GPU system has no PIM programs; footprint should error")
+	}
+}
+
+func TestIncrementalStudyMonotone(t *testing.T) {
+	reqs := workload.Uniform(14000, 1).Batch(48)
+	stages, err := IncrementalStudy(CENT(model.LLM7B32K(), Baseline()), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 4 {
+		t.Fatalf("stages = %d, want 4", len(stages))
+	}
+	var prev float64
+	for _, st := range stages {
+		if st.Report == nil {
+			t.Fatalf("stage %s has no report", st.Stage)
+		}
+		if st.Report.Throughput < prev*0.98 {
+			t.Errorf("stage %s regressed: %.0f -> %.0f tok/s", st.Stage, prev, st.Report.Throughput)
+		}
+		prev = st.Report.Throughput
+	}
+	if s := stages[3].Report.Throughput / stages[0].Report.Throughput; s < 1.5 {
+		t.Errorf("full-stack speedup %.2fx below expectation", s)
+	}
+}
+
+func TestGPUSystemServe(t *testing.T) {
+	sys, err := NewSystem(GPU(model.LLM7B32K()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Serve(workload.NewGenerator(workload.QMSum(), 3).Batch(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kind != cluster.GPUSystem || rep.Throughput <= 0 {
+		t.Fatalf("bad GPU report: %+v", rep)
+	}
+}

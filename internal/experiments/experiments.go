@@ -1,0 +1,85 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation. Every driver returns a Result whose table prints the
+// same rows/series the paper reports; the drivers are shared by the
+// repository-level benchmark harness (bench_test.go) and the
+// cmd/pimphony-bench binary, and EXPERIMENTS.md records paper-vs-measured
+// values for each.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"pimphony/internal/tablefmt"
+)
+
+// Result is one experiment's outcome.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []*tablefmt.Table
+	Notes  []string
+}
+
+// String renders the result.
+func (r *Result) String() string {
+	s := fmt.Sprintf("### %s — %s\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		s += t.String() + "\n"
+	}
+	for _, n := range r.Notes {
+		s += "note: " + n + "\n"
+	}
+	return s
+}
+
+// Runner produces a Result.
+type Runner func() (*Result, error)
+
+// registry maps experiment IDs to runners.
+var registry = map[string]Runner{
+	"tab1":  Table1Models,
+	"tab2":  Table2Workloads,
+	"tab4":  Table4Configs,
+	"fig2":  Fig2Motivation,
+	"fig4":  Fig4Utilization,
+	"fig6":  Fig6Partitioning,
+	"fig7":  Fig7DCSExample,
+	"fig8":  Fig8Breakdown,
+	"fig9":  Fig9AttnBreakdown,
+	"fig10": Fig10InstrFootprint,
+	"fig13": Fig13PIMOnly,
+	"fig14": Fig14XPUPIM,
+	"fig15": Fig15Parallelism,
+	"fig16": Fig16Energy,
+	"fig17": Fig17Scalability,
+	"fig18": Fig18PingPong,
+	"fig19": Fig19Capacity,
+	"fig20": Fig20GPUCompare,
+
+	// Design-choice ablations beyond the paper's figures.
+	"abl-ismac":   AblationIsMAC,
+	"abl-obuf":    AblationOBufDepth,
+	"abl-chunk":   AblationChunkSize,
+	"abl-tcp":     AblationTCPReduce,
+	"abl-prefill": AblationPrefill,
+}
+
+// IDs returns all experiment identifiers in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes one experiment by ID.
+func Run(id string) (*Result, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (known: %v)", id, IDs())
+	}
+	return r()
+}

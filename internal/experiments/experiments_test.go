@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun executes every registered experiment end to end
+// and sanity-checks that tables are populated. This is the integration
+// test tying the whole stack together.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if res.ID != id {
+				t.Errorf("result ID %q != %q", res.ID, id)
+			}
+			if len(res.Tables) == 0 {
+				t.Fatalf("%s produced no tables", id)
+			}
+			for _, tb := range res.Tables {
+				if len(tb.Rows) == 0 {
+					t.Errorf("%s: table %q has no rows", id, tb.Title)
+				}
+				if len(tb.Headers) == 0 {
+					t.Errorf("%s: table %q has no headers", id, tb.Title)
+				}
+				for _, row := range tb.Rows {
+					if len(row) != len(tb.Headers) {
+						t.Errorf("%s: ragged row in %q", id, tb.Title)
+					}
+				}
+			}
+			if out := res.String(); !strings.Contains(out, id) {
+				t.Errorf("%s: rendering lacks the id", id)
+			}
+		})
+	}
+}
+
+func TestUnknownID(t *testing.T) {
+	if _, err := Run("nope"); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+// TestFig7PinsPaperNumbers extracts the Fig. 7 cycle counts and pins them
+// to the paper's 34 (static) and 22 (DCS).
+func TestFig7PinsPaperNumbers(t *testing.T) {
+	res, err := Run("fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	for _, row := range res.Tables[0].Rows {
+		got[row[0]] = row[1]
+	}
+	if got["static"] != "34" {
+		t.Errorf("static = %s cycles, paper says 34", got["static"])
+	}
+	if got["dcs"] != "22" {
+		t.Errorf("dcs = %s cycles, paper says 22", got["dcs"])
+	}
+}
+
+// TestFig13SpeedupBands checks the headline speedups stay in credible
+// bands relative to the paper (shape, not absolute numbers).
+func TestFig13SpeedupBands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("system study")
+	}
+	res, err := Run("fig13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Tables[0].Rows {
+		sp, err := strconv.ParseFloat(row[len(row)-1], 64)
+		if err != nil {
+			t.Fatalf("bad speedup cell %q", row[len(row)-1])
+		}
+		if sp < 1.2 {
+			t.Errorf("%s/%s: full-stack speedup %.2fx is implausibly low", row[0], row[1], sp)
+		}
+		// The paper tops out at 11.3x; our baseline enforces stricter
+		// single-channel KV locality, so the 72B-GQA extreme overshoots
+		// (documented in EXPERIMENTS.md). Anything beyond 50x would
+		// indicate a modelling bug rather than that divergence.
+		if sp > 50 {
+			t.Errorf("%s/%s: full-stack speedup %.2fx is implausibly high", row[0], row[1], sp)
+		}
+	}
+}
+
+// TestFig19Bands checks the capacity-utilization split matches the
+// paper's direction and rough magnitudes.
+func TestFig19Bands(t *testing.T) {
+	res, err := Run("fig19")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Tables[0].Rows {
+		st, _ := strconv.ParseFloat(row[2], 64)
+		dpa, _ := strconv.ParseFloat(row[3], 64)
+		if dpa <= st {
+			t.Errorf("%s: DPA util %.1f%% should beat static %.1f%%", row[0], dpa, st)
+		}
+		if st > 60 {
+			t.Errorf("%s: static util %.1f%% too high (paper: 31.0-40.5%%)", row[0], st)
+		}
+		if dpa < 55 {
+			t.Errorf("%s: DPA util %.1f%% too low (paper: ~75.6%%)", row[0], dpa)
+		}
+	}
+}
+
+// TestFig18Bands checks DCS beats ping-pong on every attention setting.
+func TestFig18Bands(t *testing.T) {
+	res, err := Run("fig18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Tables[0].Rows {
+		gain, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("bad gain cell %q", row[3])
+		}
+		if gain < 1.0 {
+			t.Errorf("%s: DCS should not lose to ping-pong (gain %.2f)", row[0], gain)
+		}
+		if gain > 3.0 {
+			t.Errorf("%s: DCS gain %.2fx implausible (paper: up to 1.4x)", row[0], gain)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pimphony/internal/kernels"
+	"pimphony/internal/mapping"
+	"pimphony/internal/perfmodel"
+	"pimphony/internal/pim"
+	"pimphony/internal/sched"
+	"pimphony/internal/tablefmt"
+	"pimphony/internal/timing"
+)
+
+// Fig7DCSExample reproduces the paper's Fig. 7 worked scheduling example:
+// the (1x48)*(48x32) GEMV command stack under the static controller
+// (34 cycles in the paper) and under DCS (22 cycles).
+func Fig7DCSExample() (*Result, error) {
+	dev := timing.AiM16()
+	dev.TRFC = 0 // the worked example counts raw pipeline cycles
+	build := func() *pim.Stack {
+		s := pim.NewStack(dev.GBufEntries(), dev.OBufEntries())
+		s.WrInp(0)
+		s.WrInp(1)
+		s.WrInp(2)
+		s.Mac(0, 0, 0, 0)
+		s.Mac(1, 0, 0, 1)
+		s.Mac(2, 0, 0, 2)
+		s.RdOut(0)
+		s.Mac(0, 1, 0, 3)
+		s.Mac(1, 1, 0, 4)
+		s.Mac(2, 1, 0, 5)
+		s.RdOut(1)
+		return s
+	}
+	t := tablefmt.New("Fig. 7 — DCS worked example (paper: static 34, DCS 22 cycles)",
+		"scheduler", "cycles", "mac-util-%")
+	for _, sc := range []sched.Scheduler{&sched.Static{Dev: dev}, &sched.DCS{Dev: dev}} {
+		res, err := sc.Schedule(build())
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(sc.Name(), int64(res.Total), 100*res.MACUtilization())
+	}
+	return &Result{ID: "fig7", Title: "Dynamic PIM command scheduling worked example", Tables: []*tablefmt.Table{t}}, nil
+}
+
+// Fig8Breakdown reproduces the latency breakdown across matrix dimensions
+// under the conventional static controller (the paper reports MAC
+// utilization collapsing to 14.7% at d=128), with the DCS column added for
+// contrast.
+func Fig8Breakdown() (*Result, error) {
+	dev := timing.AiM16()
+	svc := perfmodel.New(dev)
+	t := tablefmt.New("Fig. 8 — static latency breakdown vs matrix dimension (one channel GEMV)",
+		"d", "total-cyc", "mac%", "act/pre%", "ref%", "dt-gbuf%", "dt-outreg%", "penalty%", "dcs-mac%")
+	for _, d := range []int{128, 256, 512, 1024, 2048, 4096} {
+		lat, err := svc.Price(perfmodel.Query{Kernel: perfmodel.GEMV, Tokens: d, Dh: d, Baseline: true, Sched: perfmodel.Static})
+		if err != nil {
+			return nil, err
+		}
+		dcs, err := svc.Price(perfmodel.Query{Kernel: perfmodel.GEMV, Tokens: d, Dh: d, Sched: perfmodel.DCS})
+		if err != nil {
+			return nil, err
+		}
+		tot := float64(lat.Cycles)
+		pct := func(c timing.Cycles) float64 { return 100 * float64(c) / tot }
+		b := lat.Breakdown
+		t.AddRow(d, int64(lat.Cycles), pct(b.MAC), pct(b.ActPre), pct(b.Refresh),
+			pct(b.DTGBuf), pct(b.DTOutReg), pct(b.Penalty), 100*dcs.MACUtil)
+	}
+	return &Result{
+		ID:     "fig8",
+		Title:  "Latency breakdown across matrix dimensions",
+		Tables: []*tablefmt.Table{t},
+		Notes:  []string{"paper: MAC utilization drops sharply to 14.7% at d=128 under static scheduling"},
+	}, nil
+}
+
+// Fig9AttnBreakdown reproduces the QK^T / SV latency breakdown for
+// LLM-72B attention (GQA g=8, row-reuse mapping) with and without DCS.
+func Fig9AttnBreakdown() (*Result, error) {
+	dev := timing.AiM16()
+	svc := perfmodel.New(dev)
+	const tokensPerChannel = 2048 // a 64K-context head sliced over 32 channels
+	t := tablefmt.New("Fig. 9 — LLM-72B attention breakdown, row-reuse mapping (g=8)",
+		"kernel", "sched", "total-cyc", "mac%", "act/pre%", "dt-gbuf%", "dt-outreg%", "penalty%")
+	for _, k := range []perfmodel.Kernel{perfmodel.QKT, perfmodel.SV} {
+		for _, sc := range []struct {
+			name     string
+			s        perfmodel.Sched
+			baseline bool
+		}{{"static", perfmodel.Static, true}, {"dcs", perfmodel.DCS, false}} {
+			lat, err := svc.Price(perfmodel.Query{Kernel: k, Tokens: tokensPerChannel, Dh: 128,
+				Queries: 8, RowReuse: true, Baseline: sc.baseline, Sched: sc.s})
+			if err != nil {
+				return nil, err
+			}
+			tot := float64(lat.Cycles)
+			pct := func(c timing.Cycles) float64 { return 100 * float64(c) / tot }
+			b := lat.Breakdown
+			t.AddRow(k.String(), sc.name, int64(lat.Cycles), pct(b.MAC), pct(b.ActPre),
+				pct(b.DTGBuf), pct(b.DTOutReg), pct(b.Penalty))
+		}
+	}
+	return &Result{ID: "fig9", Title: "Attention command-execution breakdown ±DCS", Tables: []*tablefmt.Table{t},
+		Notes: []string{"paper: DCS hides the extra WR-INP traffic row-reuse creates, unlocking its ACT/PRE savings"}}, nil
+}
+
+// Fig18PingPong reproduces the DCS vs ping-pong compute-utilization
+// comparison across MHA and GQA group sizes (both with row-reuse; the
+// paper reports up to 1.4x higher utilization for DCS).
+func Fig18PingPong() (*Result, error) {
+	dev := timing.AiM16()
+	svc := perfmodel.New(dev)
+	const tokensPerChannel = 2048
+	t := tablefmt.New("Fig. 18 — compute utilization: ping-pong vs DCS (row-reuse)",
+		"config", "pingpong-util%", "dcs-util%", "dcs-gain")
+	for _, g := range []int{1, 2, 4, 8} {
+		name := "MHA"
+		if g > 1 {
+			name = fmt.Sprintf("GQA g=%d", g)
+		}
+		var utils [2]float64
+		for i, sc := range []perfmodel.Sched{perfmodel.PingPong, perfmodel.DCS} {
+			att, err := svc.AttentionLatency(tokensPerChannel, 128, g, g > 1, false, sc)
+			if err != nil {
+				return nil, err
+			}
+			utils[i] = att.MACUtil
+		}
+		t.AddRow(name, 100*utils[0], 100*utils[1], utils[1]/utils[0])
+	}
+	return &Result{ID: "fig18", Title: "DCS vs ping-pong buffering", Tables: []*tablefmt.Table{t},
+		Notes: []string{"paper: DCS achieves up to 1.4x higher compute-unit utilization"}}, nil
+}
+
+// Fig6Partitioning reproduces the schematic channel-activity comparison of
+// Fig. 6: two requests, two layers, four channels, under TP-style
+// simultaneous execution and PP-style stage-at-a-time execution.
+func Fig6Partitioning() (*Result, error) {
+	reqs := []mapping.Request{{ID: 0, Tokens: 16 << 10}, {ID: 1, Tokens: 8 << 10}}
+	t := tablefmt.New("Fig. 6 — channel activity: HFP vs TCP (4 channels, 2 requests x 2 heads)",
+		"mode", "strategy", "active-channels%", "balance-util%")
+	// TP-style: both requests resident, all heads concurrently.
+	for _, s := range []mapping.Strategy{mapping.HFP{}, mapping.TCP{}} {
+		a, err := s.Assign(reqs, 2, 1, 4)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("TP", s.Name(), 100*float64(a.ActiveChannels())/4, 100*a.Utilization())
+	}
+	// PP-style: one request per pipeline stage.
+	for _, s := range []mapping.Strategy{mapping.HFP{}, mapping.TCP{}} {
+		g, err := mapping.PipelineActivity(s, reqs, 2, 1, 4, 4, func(step int) []int { return []int{step % 2} })
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("PP", s.Name(), 100*g.ActiveFraction(), "-")
+	}
+	return &Result{ID: "fig6", Title: "KV-cache partitioning strategies", Tables: []*tablefmt.Table{t}}, nil
+}
+
+// AblationIsMAC quantifies the is-MAC accumulate bypass inside DCS.
+func AblationIsMAC() (*Result, error) {
+	dev := timing.AiM16()
+	svc := perfmodel.New(dev)
+	t := tablefmt.New("Ablation — DCS is-MAC accumulate bypass",
+		"kernel", "tokens/ch", "dcs-cyc", "no-ismac-cyc", "bypass-gain")
+	for _, k := range []perfmodel.Kernel{perfmodel.QKT, perfmodel.SV} {
+		for _, tokens := range []int{1024, 4096} {
+			with, err := svc.Price(perfmodel.Query{Kernel: k, Tokens: tokens, Dh: 128, Queries: 1, Sched: perfmodel.DCS})
+			if err != nil {
+				return nil, err
+			}
+			without, err := svc.Price(perfmodel.Query{Kernel: k, Tokens: tokens, Dh: 128, Queries: 1, Sched: perfmodel.DCSNoIsMAC})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(k.String(), tokens, int64(with.Cycles), int64(without.Cycles),
+				float64(without.Cycles)/float64(with.Cycles))
+		}
+	}
+	return &Result{ID: "abl-ismac", Title: "is-MAC bypass ablation", Tables: []*tablefmt.Table{t}}, nil
+}
+
+// AblationOBufDepth sweeps the output-buffer depth that I/O-aware
+// buffering adds (the paper picks a 64 B per-bank OBuf).
+func AblationOBufDepth() (*Result, error) {
+	dev := timing.AiM16()
+	t := tablefmt.New("Ablation — OBuf depth (SV kernel, 4096 tokens/channel, DCS)",
+		"obuf-entries", "cycles", "wr-inp-cmds", "rd-out-cmds")
+	for _, entries := range []int{2, 4, 8, 16, 32} {
+		cfg := kernels.NewConfig(dev, kernels.Buffers{GBufEntries: dev.GBufEntries(), OutEntries: entries})
+		stack, err := cfg.SV(4096, 128, 1, false)
+		if err != nil {
+			return nil, err
+		}
+		res, err := (&sched.DCS{Dev: dev}).Schedule(stack)
+		if err != nil {
+			return nil, err
+		}
+		st := kernels.StackStats(stack)
+		t.AddRow(entries, int64(res.Total), st.WrInp, st.RdOut)
+	}
+	return &Result{ID: "abl-obuf", Title: "Output buffer depth ablation", Tables: []*tablefmt.Table{t},
+		Notes: []string{"entries=2 is the conventional 4-byte OutReg; PIMphony uses 32"}}, nil
+}
+
+// AblationTCPReduce quantifies the sensitivity of TCP to the inter-channel
+// SV reduction cost by sweeping the HUB gather bandwidth. The share is
+// measured against a full 16K-token layer's attention (batch of 8 heads
+// per channel), mirroring the paper's < 0.2% claim.
+func AblationTCPReduce() (*Result, error) {
+	base := timing.AiM16()
+	t := tablefmt.New("Ablation — TCP SV-reduction sensitivity (per head, 32 channels)",
+		"hub-B/cyc", "reduce-cyc", "share-of-16k-layer%")
+	svc := perfmodel.New(base)
+	att, err := svc.AttentionLatency(16384/32, 128, 1, false, false, perfmodel.DCS)
+	if err != nil {
+		return nil, err
+	}
+	const headsPerLayer = 8 // concurrent head tiles per channel per layer
+	layer := float64(att.Cycles) * headsPerLayer
+	for _, bw := range []float64{64, 128, 256, 512, 1024} {
+		c := mapping.SVReduction(32, 128, base.ElemsPerTile(), base.TileBytes, bw,
+			int64(base.HubHopCycles), int64(base.EPUAddCycles))
+		t.AddRow(bw, c.TotalCycles, 100*float64(c.TotalCycles)/layer)
+	}
+	return &Result{ID: "abl-tcp", Title: "TCP aggregation-cost sensitivity", Tables: []*tablefmt.Table{t},
+		Notes: []string{"paper: SV reduction is below 0.2% of attention latency for LLM-7B at 16K tokens"}}, nil
+}

@@ -1,0 +1,349 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pimphony/internal/cluster"
+	"pimphony/internal/core"
+	"pimphony/internal/model"
+	"pimphony/internal/tablefmt"
+	"pimphony/internal/workload"
+)
+
+// traceFor pairs each Table I model with its evaluation suite: non-GQA
+// models run LongBench, GQA models run LV-Eval (Sec. VIII-A).
+func tracesFor(m model.Config) []workload.Trace {
+	if m.IsGQA() {
+		return []workload.Trace{workload.MultiFieldQA(), workload.LoogleSD()}
+	}
+	return []workload.Trace{workload.QMSum(), workload.Musique()}
+}
+
+// requestPool samples a deterministic candidate pool for a trace.
+func requestPool(tr workload.Trace, n int) []workload.Request {
+	return workload.NewGenerator(tr, 42).Batch(n)
+}
+
+// incrementalTable runs the +TCP/+DCS/+DPA ladder for one preset across
+// its traces.
+func incrementalTable(title string, preset func(model.Config, core.Technique) core.Config, models []model.Config, poolSize int) (*tablefmt.Table, error) {
+	t := tablefmt.New(title,
+		"model", "trace", "baseline", "+TCP", "+DCS", "+DPA", "speedup")
+	for _, m := range models {
+		for _, tr := range tracesFor(m) {
+			reqs := requestPool(tr, poolSize)
+			stages, err := core.IncrementalStudy(preset(m, core.Baseline()), reqs)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", m.Name, tr.Name, err)
+			}
+			tp := func(i int) float64 { return stages[i].Report.Throughput }
+			t.AddRow(m.Name, tr.Name, tp(0), tp(1), tp(2), tp(3), tp(3)/tp(0))
+		}
+	}
+	return t, nil
+}
+
+// Fig13PIMOnly reproduces the PIM-only (CENT-style) throughput study:
+// incremental TCP/DCS/DPA bars for all four models on their suites.
+func Fig13PIMOnly() (*Result, error) {
+	t, err := incrementalTable("Fig. 13 — PIM-only throughput (tokens/s), optimal TP/PP",
+		core.CENT, model.All(), 64)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{ID: "fig13", Title: "PIM-only system throughput", Tables: []*tablefmt.Table{t},
+		Notes: []string{"paper: 2.1-4.5x on non-GQA 32K models, up to 11.3x on GQA 128K models"}}, nil
+}
+
+// Fig14XPUPIM reproduces the xPU+PIM (NeuPIMs-style) throughput study.
+func Fig14XPUPIM() (*Result, error) {
+	t, err := incrementalTable("Fig. 14 — xPU+PIM throughput (tokens/s), optimal TP/PP",
+		core.NeuPIMs, model.All(), 64)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{ID: "fig14", Title: "xPU+PIM system throughput", Tables: []*tablefmt.Table{t},
+		Notes: []string{"paper: up to 8.4x; DPA matters most here (larger batches feed the NPU)"}}, nil
+}
+
+// Fig4Utilization reproduces the PIM-utilization preview: CENT vs the
+// incremental PIMphony stages under a short (4K-class) and a long
+// (32K-class, QMSum) workload, with the static reservation sized to each
+// workload's maximum (batch size scales inversely with context).
+func Fig4Utilization() (*Result, error) {
+	m := model.LLM7B128KGQA() // the paper's LLM-7B-32K-GQA equivalent
+	t := tablefmt.New("Fig. 4 — PIM utilization under short and long contexts (CENT, LLM-7B GQA)",
+		"workload", "stage", "pim-util%", "eff-batch", "tok/s")
+	cases := []struct {
+		label string
+		reqs  []workload.Request
+		tmax  int
+	}{
+		{"4K", workload.ThreeSigma(4096, 7).Batch(192), 3 * 4096 / 2},
+		{"32K(QMSum)", workload.NewGenerator(workload.QMSum(), 7).Batch(192), 32768},
+	}
+	for _, c := range cases {
+		cfg := core.CENT(m, core.Baseline())
+		cfg.TMaxOverride = c.tmax
+		stages, err := core.IncrementalStudy(cfg, c.reqs)
+		if err != nil {
+			return nil, err
+		}
+		for _, st := range stages {
+			t.AddRow(c.label, st.Stage, 100*st.Report.PIMUtil, st.Report.Batch, st.Report.Throughput)
+		}
+	}
+	return &Result{ID: "fig4", Title: "PIM utilization preview", Tables: []*tablefmt.Table{t},
+		Notes: []string{"paper: 48% utilization reduction at 32K for CENT; PIMphony restores it (effective batch 53 with DPA)"}}, nil
+}
+
+// Fig15Parallelism sweeps (TP, PP) combinations for the two Fig. 15
+// workloads under baseline and full PIMphony.
+func Fig15Parallelism() (*Result, error) {
+	cases := []struct {
+		m  model.Config
+		tr workload.Trace
+	}{
+		{model.LLM7B32K(), workload.QMSum()},
+		{model.LLM7B128KGQA(), workload.MultiFieldQA()},
+	}
+	t := tablefmt.New("Fig. 15 — throughput across (TP,PP) on CENT (tokens/s)",
+		"model", "trace", "tp", "pp", "baseline", "pimphony")
+	for _, c := range cases {
+		reqs := requestPool(c.tr, 64)
+		for _, par := range []struct{ tp, pp int }{{8, 1}, {4, 2}, {2, 4}, {1, 8}} {
+			if c.m.Layers%par.pp != 0 || par.tp > c.m.KVHeads() {
+				continue
+			}
+			var tput [2]float64
+			for i, tech := range []core.Technique{core.Baseline(), core.PIMphony()} {
+				cfg := core.CENT(c.m, tech)
+				cfg.TP, cfg.PP = par.tp, par.pp
+				sys, err := core.NewSystem(cfg)
+				if err != nil {
+					return nil, err
+				}
+				rep, err := sys.Serve(reqs)
+				if err != nil {
+					return nil, err
+				}
+				tput[i] = rep.Throughput
+			}
+			t.AddRow(c.m.Name, c.tr.Name, par.tp, par.pp, tput[0], tput[1])
+		}
+	}
+	return &Result{ID: "fig15", Title: "Tensor vs pipeline parallelization", Tables: []*tablefmt.Table{t},
+		Notes: []string{"paper: TCP lifts TP efficiency; DPA's larger batches make PP viable (20% gain for GQA)"}}, nil
+}
+
+// Fig16Energy reproduces the energy breakdowns of CENT vs CENT+PIMphony.
+func Fig16Energy() (*Result, error) {
+	t := tablefmt.New("Fig. 16 — attention energy breakdown per decode window (CENT)",
+		"model", "system", "mac%", "io%", "background%", "else%", "attn-energy-ratio")
+	for _, m := range []model.Config{model.LLM7B32K(), model.LLM7B128KGQA()} {
+		tr := tracesFor(m)[0]
+		reqs := requestPool(tr, 48)
+		var base, full *core.Report
+		for _, tech := range []core.Technique{core.Baseline(), core.PIMphony()} {
+			sys, err := core.NewSystem(core.CENT(m, tech))
+			if err != nil {
+				return nil, err
+			}
+			rep, err := sys.Serve(reqs)
+			if err != nil {
+				return nil, err
+			}
+			if tech.TCP {
+				full = rep
+			} else {
+				base = rep
+			}
+		}
+		for _, row := range []struct {
+			name string
+			rep  *core.Report
+		}{{"cent", base}, {"cent+pimphony", full}} {
+			e := row.rep.AttnEnergy
+			tot := e.Total()
+			// Normalise per generated token for a fair ratio (batches differ).
+			perTok := tot / float64(row.rep.Batch*row.rep.Steps)
+			basePerTok := base.AttnEnergy.Total() / float64(base.Batch*base.Steps)
+			t.AddRow(m.Name, row.name, 100*e.MAC/tot, 100*e.IO/tot,
+				100*e.Background/tot, 100*e.Else/tot, basePerTok/perTok)
+		}
+	}
+	return &Result{ID: "fig16", Title: "Energy breakdown", Tables: []*tablefmt.Table{t},
+		Notes: []string{"paper: background share collapses 71.5% -> 13.0%; up to 3.46x attention energy reduction"}}, nil
+}
+
+// Fig17Scalability reproduces both panels: throughput vs system capacity
+// at 64K mean context, and throughput vs context length (4K - 1M) at
+// 512 GiB, for CENT and NeuPIMs, baseline vs PIMphony.
+func Fig17Scalability() (*Result, error) {
+	m := model.LLM7B128KGQA()
+	capTable := tablefmt.New("Fig. 17a — throughput vs capacity (LLM-7B-128K-GQA, 64K±3σ)",
+		"system", "capacity-GiB", "modules", "baseline", "pimphony", "speedup")
+	type preset struct {
+		name      string
+		make      func(model.Config, core.Technique) core.Config
+		modBytes  int64
+		modsForGB func(gib int) int
+		tpOnly    bool // NeuPIMs scales via pure (token-sharded) TP
+	}
+	presets := []preset{
+		{"cent", core.CENT, 16 << 30, func(gib int) int { return gib / 16 }, false},
+		{"neupims", core.NeuPIMs, 32 << 30, func(gib int) int { return gib / 32 }, true},
+	}
+	for _, p := range presets {
+		for _, gib := range []int{128, 256, 512, 1024} {
+			reqs := workload.ThreeSigma(64<<10, 9).Batch(64)
+			var tput [2]float64
+			for i, tech := range []core.Technique{core.Baseline(), core.PIMphony()} {
+				cfg := p.make(m, tech)
+				cfg.Modules = p.modsForGB(gib)
+				if p.tpOnly {
+					cfg.TP, cfg.PP = cfg.Modules, 1
+				} else {
+					cfg.TP, cfg.PP = optimalTPPP(m, cfg.Modules)
+				}
+				cfg.TMaxOverride = 3 * 64 << 10 / 2 // 3-sigma upper bound
+				cfg.DecodeWindow = 2
+				sys, err := core.NewSystem(cfg)
+				if err != nil {
+					return nil, err
+				}
+				rep, err := sys.Serve(reqs)
+				if err != nil {
+					return nil, err
+				}
+				tput[i] = rep.Throughput
+			}
+			capTable.AddRow(p.name, gib, p.modsForGB(gib), tput[0], tput[1], tput[1]/tput[0])
+		}
+	}
+	ctxTable := tablefmt.New("Fig. 17b — throughput vs context length at 512 GiB (LLM-7B-128K-GQA, ±3σ)",
+		"system", "context", "baseline", "pimphony", "speedup")
+	for _, p := range presets {
+		for _, ctx := range []int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20} {
+			reqs := workload.ThreeSigma(ctx, 13).Batch(64)
+			var tput [2]float64
+			for i, tech := range []core.Technique{core.Baseline(), core.PIMphony()} {
+				cfg := p.make(m, tech)
+				cfg.Modules = p.modsForGB(512)
+				if p.tpOnly {
+					cfg.TP, cfg.PP = cfg.Modules, 1
+				} else {
+					cfg.TP, cfg.PP = optimalTPPP(m, cfg.Modules)
+				}
+				cfg.TMaxOverride = 3 * ctx / 2
+				cfg.DecodeWindow = 2
+				sys, err := core.NewSystem(cfg)
+				if err != nil {
+					return nil, err
+				}
+				rep, err := sys.Serve(reqs)
+				if err != nil {
+					return nil, err
+				}
+				tput[i] = rep.Throughput
+			}
+			ctxTable.AddRow(p.name, ctx, tput[0], tput[1], tput[1]/tput[0])
+		}
+	}
+	return &Result{ID: "fig17", Title: "Scalability with capacity and context length",
+		Tables: []*tablefmt.Table{capTable, ctxTable},
+		Notes:  []string{"paper: 46.6x over CENT and 5.0x over NeuPIMs at 1M context; 2.1x even at short contexts"}}, nil
+}
+
+// optimalTPPP mirrors core's preset logic for sweeps that resize modules.
+func optimalTPPP(m model.Config, modules int) (int, int) {
+	tp := m.KVHeads()
+	if tp > modules {
+		tp = modules
+	}
+	for modules%tp != 0 {
+		tp--
+	}
+	pp := modules / tp
+	if pp > 1 && m.Layers%pp != 0 {
+		return tp * pp, 1
+	}
+	return tp, pp
+}
+
+// Fig20GPUCompare reproduces the GPU comparison: A100s with
+// flash-decoding + paged-attention vs memory-matched PIMphony systems.
+func Fig20GPUCompare() (*Result, error) {
+	cases := []struct {
+		m  model.Config
+		tr workload.Trace
+	}{
+		{model.LLM7B32K(), workload.QMSum()},
+		{model.LLM72B32K(), workload.QMSum()},
+		{model.LLM7B128KGQA(), workload.MultiFieldQA()},
+		{model.LLM72B128KGQA(), workload.MultiFieldQA()},
+	}
+	t := tablefmt.New("Fig. 20 — GPU (A100+FD+PA) vs PIMphony (tokens/s, memory-matched)",
+		"model", "trace", "gpu", "cent+pimphony", "neupims+pimphony", "best-vs-gpu")
+	for _, c := range cases {
+		reqs := requestPool(c.tr, 48)
+		gpuSys, err := core.NewSystem(core.GPU(c.m))
+		if err != nil {
+			return nil, err
+		}
+		gpuRep, err := gpuSys.Serve(reqs)
+		if err != nil {
+			return nil, err
+		}
+		var pims [2]float64
+		for i, mk := range []func(model.Config, core.Technique) core.Config{core.CENT, core.NeuPIMs} {
+			sys, err := core.NewSystem(mk(c.m, core.PIMphony()))
+			if err != nil {
+				return nil, err
+			}
+			rep, err := sys.Serve(reqs)
+			if err != nil {
+				return nil, err
+			}
+			pims[i] = rep.Throughput
+		}
+		best := pims[0]
+		if pims[1] > best {
+			best = pims[1]
+		}
+		t.AddRow(c.m.Name, c.tr.Name, gpuRep.Throughput, pims[0], pims[1], best/gpuRep.Throughput)
+	}
+	return &Result{ID: "fig20", Title: "Throughput comparison with GPU systems", Tables: []*tablefmt.Table{t},
+		Notes: []string{"paper: largest gains on non-GQA models; the GPU's FC advantage narrows the 72B gap"}}, nil
+}
+
+// AblationPrefill quantifies the prompt-processing (prefill) phase the
+// decode-centric evaluation holds fixed: PIM-only systems prefill on their
+// weak dense engine, which is why heterogeneous designs (NeuPIMs, Hybe)
+// offload prefill to an xPU — the trade-off the paper's related work
+// discusses.
+func AblationPrefill() (*Result, error) {
+	m := model.LLM7B32K()
+	t := tablefmt.New("Ablation — prefill time per request (seconds, LLM-7B)",
+		"context", "cent(pnm)", "neupims(npu)", "a100x2")
+	mk := func(cfg core.Config) (*cluster.System, error) {
+		return cluster.New(cfg)
+	}
+	centSys, err := mk(core.CENT(m, core.PIMphony()))
+	if err != nil {
+		return nil, err
+	}
+	neuSys, err := mk(core.NeuPIMs(m, core.PIMphony()))
+	if err != nil {
+		return nil, err
+	}
+	gpuSys, err := mk(core.GPU(m))
+	if err != nil {
+		return nil, err
+	}
+	for _, ctx := range []int{4 << 10, 16 << 10, 32 << 10, 128 << 10} {
+		t.AddRow(ctx, centSys.PrefillSeconds(ctx), neuSys.PrefillSeconds(ctx), gpuSys.PrefillSeconds(ctx))
+	}
+	return &Result{ID: "abl-prefill", Title: "Prefill-phase cost across systems", Tables: []*tablefmt.Table{t},
+		Notes: []string{"decode throughput (Fig. 13/14) excludes prefill; this shows why xPU+PIM splits the phases"}}, nil
+}

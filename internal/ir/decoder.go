@@ -1,0 +1,118 @@
+package ir
+
+import (
+	"fmt"
+
+	"pimphony/internal/model"
+)
+
+// DecoderLayer holds the graph of one transformer decode step (one new
+// token) for a single layer, plus the value IDs the compiler passes use as
+// anchors.
+type DecoderLayer struct {
+	Graph *Graph
+	// Anchor values.
+	Hidden  int // layer input (1, DIn)
+	Query   int // q_proj output
+	Scores  int // softmax output (1, T)
+	AttnOut int // SV output per head group (1, DIn)
+	Output  int // layer output (1, DIn)
+}
+
+// BuildDecoderLayer constructs the per-layer decode graph for a model
+// configuration: RMSNorm -> QKV projections -> QK^T -> scale -> softmax ->
+// SV -> output projection -> residual -> RMSNorm -> gated FFN -> residual.
+// Attention is expressed per KV-head group with the token dimension
+// symbolic; the projections keep their exact Table I shapes.
+func BuildDecoderLayer(cfg model.Config) (*DecoderLayer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := NewGraph(cfg.Name + "-decoder-layer")
+	d := &DecoderLayer{Graph: g}
+	kvOut := cfg.DIn / cfg.GQAGroup
+
+	d.Hidden = g.AddInput("hidden", 1, cfg.DIn)
+	normed := g.Unary(RMSNorm, "attn_norm", d.Hidden)
+
+	wq := g.AddWeight("w_q", cfg.DIn, cfg.DIn)
+	wk := g.AddWeight("w_k", cfg.DIn, kvOut)
+	wv := g.AddWeight("w_v", cfg.DIn, kvOut)
+	wo := g.AddWeight("w_o", cfg.DIn, cfg.DIn)
+
+	q, err := g.MatMul("q_proj", normed, wq)
+	if err != nil {
+		return nil, err
+	}
+	d.Query = q
+	if _, err = g.MatMul("k_proj", normed, wk); err != nil {
+		return nil, err
+	}
+	if _, err = g.MatMul("v_proj", normed, wv); err != nil {
+		return nil, err
+	}
+
+	// Attention over one KV head group: K cache is (T, dh); scores (1, T).
+	kCache := g.AddKVCache("k_cache", cfg.HeadDim)
+	vCache := g.AddKVCache("v_cache", cfg.HeadDim)
+	qHead := g.AddInput("q_head", 1, cfg.HeadDim) // sliced from q_proj
+	kT, err := g.Transpose("k_cache_t", kCache)
+	if err != nil {
+		return nil, err
+	}
+	logits, err := g.MatMul("qk_t", qHead, kT)
+	if err != nil {
+		return nil, err
+	}
+	scaled := g.Unary(Scale, "scale", logits)
+	d.Scores = g.Unary(Softmax, "softmax", scaled)
+	sv, err := g.MatMul("sv", d.Scores, vCache)
+	if err != nil {
+		return nil, err
+	}
+	_ = sv
+
+	// Output projection + residual (heads concatenated back to DIn).
+	attnCat := g.AddInput("attn_cat", 1, cfg.DIn)
+	attnProj, err := g.MatMul("o_proj", attnCat, wo)
+	if err != nil {
+		return nil, err
+	}
+	d.AttnOut = attnProj
+	resid1, err := g.Binary(Add, "residual1", d.Hidden, attnProj)
+	if err != nil {
+		return nil, err
+	}
+
+	// Gated FFN.
+	ffnNorm := g.Unary(RMSNorm, "ffn_norm", resid1)
+	wUp := g.AddWeight("w_up", cfg.DIn, cfg.DFFN)
+	wGate := g.AddWeight("w_gate", cfg.DIn, cfg.DFFN)
+	wDown := g.AddWeight("w_down", cfg.DFFN, cfg.DIn)
+	up, err := g.MatMul("ffn_up", ffnNorm, wUp)
+	if err != nil {
+		return nil, err
+	}
+	gate, err := g.MatMul("ffn_gate", ffnNorm, wGate)
+	if err != nil {
+		return nil, err
+	}
+	act := g.Unary(SiLU, "ffn_act", gate)
+	gated, err := g.Binary(Mul, "ffn_gated", up, act)
+	if err != nil {
+		return nil, err
+	}
+	down, err := g.MatMul("ffn_down", gated, wDown)
+	if err != nil {
+		return nil, err
+	}
+	out, err := g.Binary(Add, "residual2", resid1, down)
+	if err != nil {
+		return nil, err
+	}
+	d.Output = out
+	if err := g.Verify(); err != nil {
+		return nil, fmt.Errorf("ir: decoder layer failed verification: %w", err)
+	}
+	return d, nil
+}

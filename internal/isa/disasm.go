@@ -1,0 +1,49 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders a program as human-readable assembly, one
+// instruction per line, with Dyn-Loop bodies indented. The format mirrors
+// the paper's Table III argument names.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; program %s (%d words, %d bytes)\n", p.Name, p.Len(), p.EncodedSize())
+	disasmInto(&b, p.Insts, 0)
+	return b.String()
+}
+
+func disasmInto(b *strings.Builder, insts []Instruction, depth int) {
+	indent := strings.Repeat("  ", depth)
+	for _, in := range insts {
+		switch in.Op {
+		case WRINP:
+			fmt.Fprintf(b, "%s%-8s ch=%#x op-size=%d gpr=%d gbuf=%d\n",
+				indent, in.Op, in.ChMask, in.OpSize, in.GPR, in.GBuf)
+		case MAC:
+			fmt.Fprintf(b, "%s%-8s ch=%#x op-size=%d gbuf=%d row=%d col=%d out=%d\n",
+				indent, in.Op, in.ChMask, in.OpSize, in.GBuf, in.Row, in.Col, in.Out)
+		case RDOUT:
+			fmt.Fprintf(b, "%s%-8s ch=%#x op-size=%d gpr=%d out=%d\n",
+				indent, in.Op, in.ChMask, in.OpSize, in.GPR, in.Out)
+		case DYNLOOP:
+			bound := "const"
+			if in.Bound.TokensPerIter > 0 {
+				bound = fmt.Sprintf("ceil(Tcur/%d)", in.Bound.TokensPerIter)
+			}
+			if in.Bound.Extra > 0 {
+				bound += fmt.Sprintf("+%d", in.Bound.Extra)
+			}
+			fmt.Fprintf(b, "%s%-8s bound=%s {\n", indent, in.Op, bound)
+			disasmInto(b, in.Body, depth+1)
+			fmt.Fprintf(b, "%s}\n", indent)
+		case DYNMODI:
+			fmt.Fprintf(b, "%s%-8s target=%d field=%s stride=%+d\n",
+				indent, in.Op, in.Target, in.Field, in.Stride)
+		default:
+			fmt.Fprintf(b, "%s%-8s ???\n", indent, in.Op)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDisassembleRendersAllOps(t *testing.T) {
+	p := &Program{Name: "attn", Insts: []Instruction{
+		{Op: WRINP, ChMask: 0xffff, OpSize: 8, GPR: 16},
+		{Op: DYNLOOP, Bound: LoopBound{TokensPerIter: 256, Extra: 1}, Body: []Instruction{
+			{Op: DYNMODI, Target: 0, Field: FieldRow, Stride: 2},
+			{Op: MAC, ChMask: 0xffff, OpSize: 8, Row: 3, Col: 4, Out: 1},
+			{Op: RDOUT, ChMask: 0xffff, OpSize: 1, Out: 1},
+		}},
+	}}
+	out := p.Disassemble()
+	for _, want := range []string{
+		"program attn (5 words, 80 bytes)",
+		"WR-INP", "Dyn-Loop", "bound=ceil(Tcur/256)+1",
+		"Dyn-Modi", "field=row stride=+2",
+		"MAC", "row=3 col=4",
+		"RD-OUT",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+	// Loop body is indented.
+	if !strings.Contains(out, "  MAC") {
+		t.Error("loop body should be indented")
+	}
+}
+
+func TestDisassembleConstantBound(t *testing.T) {
+	p := &Program{Name: "c", Insts: []Instruction{
+		{Op: DYNLOOP, Bound: LoopBound{Extra: 7}, Body: []Instruction{
+			{Op: MAC, ChMask: 1, OpSize: 1},
+		}},
+	}}
+	if out := p.Disassemble(); !strings.Contains(out, "bound=const+7") {
+		t.Errorf("constant bound rendering wrong:\n%s", out)
+	}
+}

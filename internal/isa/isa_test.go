@@ -1,0 +1,217 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// staticQKT builds a fully unrolled score-kernel program for a fixed token
+// count: one MAC instruction per score group (the conventional encoding
+// whose size grows linearly with context, Fig. 10a/c).
+func staticQKT(tokens, banks, channels int) *Program {
+	groups := (tokens + banks - 1) / banks
+	p := &Program{Name: "qkt-static"}
+	p.Insts = append(p.Insts, Instruction{Op: WRINP, ChMask: AllChannels(channels), OpSize: 8})
+	for g := 0; g < groups; g++ {
+		p.Insts = append(p.Insts, Instruction{Op: MAC, ChMask: AllChannels(channels), OpSize: 8, Row: g / 8, Col: (g % 8) * 8})
+		p.Insts = append(p.Insts, Instruction{Op: RDOUT, ChMask: AllChannels(channels), OpSize: 1, Out: g % 2})
+	}
+	return p
+}
+
+// dpaQKT builds the compact DPA encoding of the same kernel: a Dyn-Loop
+// over score groups whose bound is resolved from T_cur, with Dyn-Modi
+// instructions striding the row/col operands.
+func dpaQKT(banks, channels int) *Program {
+	body := []Instruction{
+		{Op: DYNMODI, Target: 0, Field: FieldCol, Stride: 8},
+		{Op: MAC, ChMask: AllChannels(channels), OpSize: 8, Row: 0, Col: 0},
+		{Op: RDOUT, ChMask: AllChannels(channels), OpSize: 1, Out: 0},
+	}
+	return &Program{Name: "qkt-dpa", Insts: []Instruction{
+		{Op: WRINP, ChMask: AllChannels(channels), OpSize: 8},
+		{Op: DYNLOOP, Bound: LoopBound{TokensPerIter: banks}, Body: body},
+	}}
+}
+
+func TestStaticProgramGrowsLinearly(t *testing.T) {
+	small := staticQKT(1024, 16, 16)
+	large := staticQKT(4096, 16, 16)
+	if large.Len() <= small.Len() {
+		t.Fatal("static program should grow with context")
+	}
+	ratio := float64(large.EncodedSize()) / float64(small.EncodedSize())
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("4x context should give ~4x static footprint, got %.2fx", ratio)
+	}
+}
+
+func TestDPAProgramConstantSize(t *testing.T) {
+	p := dpaQKT(16, 16)
+	if p.Len() != 5 {
+		t.Errorf("DPA program length = %d instruction words, want 5", p.Len())
+	}
+	// Footprint is independent of context by construction: the same
+	// program serves 1K and 1M tokens.
+	c1, err := p.CountExpanded(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := p.CountExpanded(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2[MAC] <= c1[MAC] {
+		t.Error("expanded MAC work must still scale with context")
+	}
+}
+
+func TestDPAExpansionMatchesStatic(t *testing.T) {
+	banks, channels := 16, 16
+	for _, tokens := range []int{256, 1024, 4096} {
+		st, err := staticQKT(tokens, banks, channels).CountExpanded(tokens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp, err := dpaQKT(banks, channels).CountExpanded(tokens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, op := range []Op{MAC, RDOUT} {
+			if st[op] != dp[op] {
+				t.Errorf("tokens=%d %s: static %d vs DPA %d commands", tokens, op, st[op], dp[op])
+			}
+		}
+	}
+}
+
+func TestDynModiStridesOperands(t *testing.T) {
+	p := dpaQKT(16, 1)
+	cmds, err := p.Expand(64, nil) // 4 loop iterations
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cols []int
+	for _, c := range cmds {
+		if c.Op == MAC && c.GBuf == 0 {
+			cols = append(cols, c.Col)
+		}
+	}
+	want := []int{0, 8, 16, 24}
+	if len(cols) != len(want) {
+		t.Fatalf("got %d first-tile MACs, want %d", len(cols), len(want))
+	}
+	for i, w := range want {
+		if cols[i] != w {
+			t.Errorf("iteration %d column = %d, want %d", i, cols[i], w)
+		}
+	}
+}
+
+func TestExpandAppliesTranslation(t *testing.T) {
+	p := &Program{Name: "t", Insts: []Instruction{
+		{Op: WRINP, ChMask: 1, OpSize: 1},
+		{Op: MAC, ChMask: 1, OpSize: 1, Row: 3},
+	}}
+	cmds, err := p.Expand(1, func(r int) int { return r + 100 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmds[1].Row != 103 {
+		t.Errorf("translated row = %d, want 103", cmds[1].Row)
+	}
+}
+
+func TestChannelMaskMulticast(t *testing.T) {
+	p := &Program{Name: "m", Insts: []Instruction{
+		{Op: WRINP, ChMask: 0b1010, OpSize: 2},
+	}}
+	cmds, err := p.Expand(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmds) != 4 { // 2 channels x 2 repetitions
+		t.Fatalf("expanded %d commands, want 4", len(cmds))
+	}
+	chans := map[int]int{}
+	for _, c := range cmds {
+		chans[c.Channel]++
+	}
+	if chans[1] != 2 || chans[3] != 2 {
+		t.Errorf("multicast decode wrong: %v", chans)
+	}
+}
+
+func TestValidateRejectsBadPrograms(t *testing.T) {
+	bad := []*Program{
+		{Name: "zero-opsize", Insts: []Instruction{{Op: MAC, ChMask: 1, OpSize: 0}}},
+		{Name: "no-channels", Insts: []Instruction{{Op: MAC, ChMask: 0, OpSize: 1}}},
+		{Name: "empty-loop", Insts: []Instruction{{Op: DYNLOOP}}},
+		{Name: "stray-modi", Insts: []Instruction{{Op: DYNMODI}}},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s should fail validation", p.Name)
+		}
+	}
+}
+
+func TestLoopBoundResolve(t *testing.T) {
+	b := LoopBound{TokensPerIter: 256}
+	if b.Resolve(1024) != 4 || b.Resolve(1025) != 5 || b.Resolve(1) != 1 {
+		t.Error("ceil division broken")
+	}
+	c := LoopBound{Extra: 7}
+	if c.Resolve(999999) != 7 {
+		t.Error("constant bound should ignore tokens")
+	}
+}
+
+// Property: for any token count, CountExpanded agrees with len(Expand).
+func TestCountMatchesExpandProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		tokens := int(raw%4096) + 16
+		p := dpaQKT(16, 4)
+		cmds, err := p.Expand(tokens, nil)
+		if err != nil {
+			return false
+		}
+		counts, err := p.CountExpanded(tokens)
+		if err != nil {
+			return false
+		}
+		var total int64
+		for _, n := range counts {
+			total += n
+		}
+		return total == int64(len(cmds))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpAndFieldStrings(t *testing.T) {
+	for _, o := range []Op{WRINP, MAC, RDOUT, DYNLOOP, DYNMODI} {
+		if o.String() == "" {
+			t.Errorf("Op %d renders empty", o)
+		}
+	}
+	for _, f := range []Field{FieldRow, FieldCol, FieldGBuf, FieldOut, FieldGPR} {
+		if f.String() == "" {
+			t.Errorf("Field %d renders empty", f)
+		}
+	}
+}
+
+func TestAllChannels(t *testing.T) {
+	if AllChannels(4) != 0b1111 {
+		t.Error("AllChannels(4) wrong")
+	}
+	if AllChannels(32) != ^uint32(0) {
+		t.Error("AllChannels(32) wrong")
+	}
+	if AllChannels(33) != ^uint32(0) {
+		t.Error("AllChannels(>32) should saturate")
+	}
+}

@@ -1,0 +1,328 @@
+// Package memory implements the two KV-cache management schemes compared in
+// Sec. VI of the paper: conventional static allocation, which reserves
+// T_max-sized regions per request because PIM instruction streams embed
+// fixed physical addresses, and PIMphony's Dynamic PIM Access (DPA)
+// allocation, which lazily maps 1 MB chunks through a VA2PA table as a
+// request's KV cache grows.
+package memory
+
+import (
+	"fmt"
+)
+
+// DefaultChunkBytes is the paper's DPA allocation granularity.
+const DefaultChunkBytes = 1 << 20
+
+// Allocator is a KV-cache capacity manager for one memory pool (a module or
+// a whole system partition).
+type Allocator interface {
+	Name() string
+	// Admit reserves space for a new request with the given current
+	// context length; it fails if capacity is insufficient.
+	Admit(reqID, tokens int) error
+	// Grow extends a request's context to newTokens (monotonically).
+	Grow(reqID, newTokens int) error
+	// Release frees all memory of a request.
+	Release(reqID int) error
+	// CanAdmit reports whether a request of the given length would fit.
+	CanAdmit(tokens int) bool
+	// LiveBytes is the memory holding actual KV data.
+	LiveBytes() int64
+	// ReservedBytes is the memory unavailable to other requests.
+	ReservedBytes() int64
+	// CapacityBytes is the pool size.
+	CapacityBytes() int64
+}
+
+// Utilization is live / reserved bytes: how much of the memory an
+// allocator has claimed actually holds KV data. When nothing is reserved
+// it is defined as zero.
+func Utilization(a Allocator) float64 {
+	r := a.ReservedBytes()
+	if r == 0 {
+		return 0
+	}
+	return float64(a.LiveBytes()) / float64(r)
+}
+
+// PoolUtilization is live / pool capacity — the Fig. 19 metric, evaluated
+// when the admission loop has filled the pool: static T_max reservations
+// strand most of the pool (the paper measures 31.0-40.5%), while DPA's
+// lazy chunks reach ~75%.
+func PoolUtilization(a Allocator) float64 {
+	c := a.CapacityBytes()
+	if c == 0 {
+		return 0
+	}
+	return float64(a.LiveBytes()) / float64(c)
+}
+
+// ---------------------------------------------------------------------------
+// Static allocator
+// ---------------------------------------------------------------------------
+
+// Static reserves a fixed T_max-sized KV region per admitted request,
+// mirroring conventional PIM systems whose compiled instruction streams
+// address physical memory directly (Fig. 10a).
+type Static struct {
+	capacity      int64
+	bytesPerToken int64
+	tmax          int
+	live          map[int]int64 // request -> live KV bytes
+	reservePer    int64
+}
+
+// NewStatic builds a static allocator for a pool of the given capacity.
+func NewStatic(capacity, bytesPerToken int64, tmax int) (*Static, error) {
+	if capacity <= 0 || bytesPerToken <= 0 || tmax <= 0 {
+		return nil, fmt.Errorf("memory: static allocator params must be positive")
+	}
+	return &Static{
+		capacity:      capacity,
+		bytesPerToken: bytesPerToken,
+		tmax:          tmax,
+		live:          make(map[int]int64),
+		reservePer:    int64(tmax) * bytesPerToken,
+	}, nil
+}
+
+// Name implements Allocator.
+func (s *Static) Name() string { return "static" }
+
+// Admit implements Allocator.
+func (s *Static) Admit(reqID, tokens int) error {
+	if _, ok := s.live[reqID]; ok {
+		return fmt.Errorf("memory: request %d already admitted", reqID)
+	}
+	if tokens > s.tmax {
+		return fmt.Errorf("memory: request %d context %d exceeds T_max %d", reqID, tokens, s.tmax)
+	}
+	if !s.CanAdmit(tokens) {
+		return fmt.Errorf("memory: static pool full (%d reserved of %d)", s.ReservedBytes(), s.capacity)
+	}
+	s.live[reqID] = int64(tokens) * s.bytesPerToken
+	return nil
+}
+
+// Grow implements Allocator. Static growth never allocates — the region was
+// pre-reserved — but overflowing T_max is fatal.
+func (s *Static) Grow(reqID, newTokens int) error {
+	cur, ok := s.live[reqID]
+	if !ok {
+		return fmt.Errorf("memory: request %d not admitted", reqID)
+	}
+	if newTokens > s.tmax {
+		return fmt.Errorf("memory: request %d grew past T_max %d", reqID, s.tmax)
+	}
+	nb := int64(newTokens) * s.bytesPerToken
+	if nb < cur {
+		return fmt.Errorf("memory: request %d shrank (%d -> %d tokens)", reqID, cur/s.bytesPerToken, newTokens)
+	}
+	s.live[reqID] = nb
+	return nil
+}
+
+// Release implements Allocator.
+func (s *Static) Release(reqID int) error {
+	if _, ok := s.live[reqID]; !ok {
+		return fmt.Errorf("memory: request %d not admitted", reqID)
+	}
+	delete(s.live, reqID)
+	return nil
+}
+
+// CanAdmit implements Allocator.
+func (s *Static) CanAdmit(tokens int) bool {
+	if tokens > s.tmax {
+		return false
+	}
+	return s.ReservedBytes()+s.reservePer <= s.capacity
+}
+
+// LiveBytes implements Allocator.
+func (s *Static) LiveBytes() int64 {
+	var t int64
+	for _, b := range s.live {
+		t += b
+	}
+	return t
+}
+
+// ReservedBytes implements Allocator.
+func (s *Static) ReservedBytes() int64 { return int64(len(s.live)) * s.reservePer }
+
+// CapacityBytes implements Allocator.
+func (s *Static) CapacityBytes() int64 { return s.capacity }
+
+// MaxBatch is the static batch-size bound: capacity / T_max reservation.
+func (s *Static) MaxBatch() int { return int(s.capacity / s.reservePer) }
+
+// ---------------------------------------------------------------------------
+// DPA allocator
+// ---------------------------------------------------------------------------
+
+// ChunkID is a physical chunk index within the pool.
+type ChunkID int
+
+// DPA implements lazy chunked allocation with virtual-to-physical chunk
+// translation, the software model of the on-module dispatcher's VA2PA table
+// (Fig. 11). Chunks are handed out on demand as requests grow, so internal
+// fragmentation is limited to the final chunk of each request.
+type DPA struct {
+	capacity      int64
+	bytesPerToken int64
+	chunkBytes    int64
+	nChunks       int
+	freeList      []ChunkID
+	va2pa         map[int][]ChunkID // request -> virtual chunk order -> physical
+	liveTokens    map[int]int
+	hostMessages  int // host<->module allocation messages (Sec. VI-C)
+}
+
+// NewDPA builds a DPA allocator with the given chunk granularity.
+func NewDPA(capacity, bytesPerToken, chunkBytes int64) (*DPA, error) {
+	if capacity <= 0 || bytesPerToken <= 0 || chunkBytes <= 0 {
+		return nil, fmt.Errorf("memory: DPA allocator params must be positive")
+	}
+	n := int(capacity / chunkBytes)
+	if n == 0 {
+		return nil, fmt.Errorf("memory: capacity %d below one chunk (%d)", capacity, chunkBytes)
+	}
+	free := make([]ChunkID, n)
+	for i := range free {
+		free[i] = ChunkID(n - 1 - i) // pop from the end -> ascending IDs
+	}
+	return &DPA{
+		capacity:      capacity,
+		bytesPerToken: bytesPerToken,
+		chunkBytes:    chunkBytes,
+		nChunks:       n,
+		freeList:      free,
+		va2pa:         make(map[int][]ChunkID),
+		liveTokens:    make(map[int]int),
+	}, nil
+}
+
+// Name implements Allocator.
+func (d *DPA) Name() string { return "dpa" }
+
+// chunksFor is the chunk count needed for a context length.
+func (d *DPA) chunksFor(tokens int) int {
+	b := int64(tokens) * d.bytesPerToken
+	return int((b + d.chunkBytes - 1) / d.chunkBytes)
+}
+
+// Admit implements Allocator.
+func (d *DPA) Admit(reqID, tokens int) error {
+	if _, ok := d.va2pa[reqID]; ok {
+		return fmt.Errorf("memory: request %d already admitted", reqID)
+	}
+	need := d.chunksFor(tokens)
+	if need > len(d.freeList) {
+		return fmt.Errorf("memory: DPA pool has %d free chunks, need %d", len(d.freeList), need)
+	}
+	d.va2pa[reqID] = d.pop(need)
+	d.liveTokens[reqID] = tokens
+	d.hostMessages++ // initial VA2PA setup
+	return nil
+}
+
+// Grow implements Allocator: allocates additional chunks only when the new
+// context spills past the last mapped chunk (lazy allocation).
+func (d *DPA) Grow(reqID, newTokens int) error {
+	cur, ok := d.liveTokens[reqID]
+	if !ok {
+		return fmt.Errorf("memory: request %d not admitted", reqID)
+	}
+	if newTokens < cur {
+		return fmt.Errorf("memory: request %d shrank (%d -> %d)", reqID, cur, newTokens)
+	}
+	have := len(d.va2pa[reqID])
+	need := d.chunksFor(newTokens)
+	if extra := need - have; extra > 0 {
+		if extra > len(d.freeList) {
+			return fmt.Errorf("memory: DPA pool exhausted growing request %d (need %d chunks, %d free)", reqID, extra, len(d.freeList))
+		}
+		d.va2pa[reqID] = append(d.va2pa[reqID], d.pop(extra)...)
+		d.hostMessages++ // one host message per chunk-allocation event
+	}
+	d.liveTokens[reqID] = newTokens
+	return nil
+}
+
+// Release implements Allocator.
+func (d *DPA) Release(reqID int) error {
+	chunks, ok := d.va2pa[reqID]
+	if !ok {
+		return fmt.Errorf("memory: request %d not admitted", reqID)
+	}
+	d.freeList = append(d.freeList, chunks...)
+	delete(d.va2pa, reqID)
+	delete(d.liveTokens, reqID)
+	d.hostMessages++
+	return nil
+}
+
+// CanAdmit implements Allocator.
+func (d *DPA) CanAdmit(tokens int) bool { return d.chunksFor(tokens) <= len(d.freeList) }
+
+// LiveBytes implements Allocator.
+func (d *DPA) LiveBytes() int64 {
+	var t int64
+	for _, tok := range d.liveTokens {
+		t += int64(tok) * d.bytesPerToken
+	}
+	return t
+}
+
+// ReservedBytes implements Allocator.
+func (d *DPA) ReservedBytes() int64 {
+	var n int64
+	for _, chunks := range d.va2pa {
+		n += int64(len(chunks))
+	}
+	return n * d.chunkBytes
+}
+
+// CapacityBytes implements Allocator.
+func (d *DPA) CapacityBytes() int64 { return d.capacity }
+
+// HostMessages counts host<->module management messages so far; the paper
+// argues these are rare (not per decode step).
+func (d *DPA) HostMessages() int { return d.hostMessages }
+
+// Translate resolves a request-relative virtual byte address to a physical
+// byte address through the VA2PA table, mirroring the on-module
+// dispatcher's decode step.
+func (d *DPA) Translate(reqID int, vaddr int64) (int64, error) {
+	chunks, ok := d.va2pa[reqID]
+	if !ok {
+		return 0, fmt.Errorf("memory: request %d not admitted", reqID)
+	}
+	vc := int(vaddr / d.chunkBytes)
+	if vc < 0 || vc >= len(chunks) {
+		return 0, fmt.Errorf("memory: request %d vaddr %d beyond mapped region", reqID, vaddr)
+	}
+	return int64(chunks[vc])*d.chunkBytes + vaddr%d.chunkBytes, nil
+}
+
+// Chunks returns a copy of the request's physical chunk list (for tests and
+// the dispatcher model).
+func (d *DPA) Chunks(reqID int) []ChunkID {
+	src := d.va2pa[reqID]
+	out := make([]ChunkID, len(src))
+	copy(out, src)
+	return out
+}
+
+func (d *DPA) pop(n int) []ChunkID {
+	out := make([]ChunkID, n)
+	copy(out, d.freeList[len(d.freeList)-n:])
+	d.freeList = d.freeList[:len(d.freeList)-n]
+	return out
+}
+
+var (
+	_ Allocator = (*Static)(nil)
+	_ Allocator = (*DPA)(nil)
+)

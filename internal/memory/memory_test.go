@@ -1,0 +1,344 @@
+package memory
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const (
+	kib = 1 << 10
+	mib = 1 << 20
+	gib = 1 << 30
+)
+
+func newStaticT(t *testing.T) *Static {
+	t.Helper()
+	// 1 GiB pool, 128 KiB/token (7B GQA), T_max 4096 -> 512 MiB per slot.
+	s, err := NewStatic(gib, 128*kib, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func newDPAT(t *testing.T) *DPA {
+	t.Helper()
+	d, err := NewDPA(gib, 128*kib, DefaultChunkBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestStaticReservesTmax(t *testing.T) {
+	s := newStaticT(t)
+	if err := s.Admit(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ReservedBytes(); got != 4096*128*kib {
+		t.Errorf("reserved = %d, want full T_max slot", got)
+	}
+	if got := s.LiveBytes(); got != 100*128*kib {
+		t.Errorf("live = %d", got)
+	}
+	if u := Utilization(s); u > 0.03 {
+		t.Errorf("utilization of a short request should be tiny, got %f", u)
+	}
+}
+
+func TestStaticBatchBound(t *testing.T) {
+	s := newStaticT(t)
+	if s.MaxBatch() != 2 {
+		t.Fatalf("MaxBatch = %d, want 2 (1 GiB / 512 MiB)", s.MaxBatch())
+	}
+	if err := s.Admit(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Admit(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Admit(2, 10); err == nil {
+		t.Fatal("third request should be rejected: static pool is full")
+	}
+	if s.CanAdmit(10) {
+		t.Fatal("CanAdmit should be false when full")
+	}
+}
+
+func TestStaticRejectsOverTmax(t *testing.T) {
+	s := newStaticT(t)
+	if err := s.Admit(0, 5000); err == nil {
+		t.Fatal("context beyond T_max must be rejected")
+	}
+	if err := s.Admit(0, 4000); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Grow(0, 5000); err == nil {
+		t.Fatal("growth past T_max must fail")
+	}
+	if err := s.Grow(0, 3000); err == nil {
+		t.Fatal("shrinking must fail")
+	}
+}
+
+func TestDPAAdmitsMoreRequestsThanStatic(t *testing.T) {
+	s := newStaticT(t)
+	d := newDPAT(t)
+	// Short requests (512 tokens = 64 MiB live).
+	admittedStatic, admittedDPA := 0, 0
+	for i := 0; ; i++ {
+		if s.Admit(i, 512) != nil {
+			break
+		}
+		admittedStatic++
+	}
+	for i := 0; ; i++ {
+		if d.Admit(i, 512) != nil {
+			break
+		}
+		admittedDPA++
+	}
+	if admittedStatic != 2 {
+		t.Errorf("static admitted %d, want 2", admittedStatic)
+	}
+	if admittedDPA != 16 {
+		t.Errorf("DPA admitted %d, want 16 (1 GiB / 64 MiB)", admittedDPA)
+	}
+	// The effective-batch gain is the Fig. 4 "effective batch" effect.
+	if admittedDPA <= admittedStatic {
+		t.Error("DPA must admit strictly more short requests")
+	}
+}
+
+func TestDPAUtilizationBeatsStatic(t *testing.T) {
+	s := newStaticT(t)
+	d := newDPAT(t)
+	for i := 0; i < 2; i++ {
+		if err := s.Admit(i, 1500); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if err := d.Admit(i, 1500); err != nil {
+			t.Fatal(err)
+		}
+	}
+	us, ud := Utilization(s), Utilization(d)
+	if ud <= us {
+		t.Errorf("DPA utilization (%.2f) should exceed static (%.2f)", ud, us)
+	}
+	// DPA fragmentation is bounded by one chunk per request.
+	if ud < 0.99 {
+		t.Errorf("DPA utilization %.3f; fragmentation should be < 1 chunk/request", ud)
+	}
+}
+
+func TestDPALazyGrowth(t *testing.T) {
+	d := newDPAT(t)
+	if err := d.Admit(0, 8); err != nil { // 8 tokens = 1 MiB = 1 chunk
+		t.Fatal(err)
+	}
+	if got := len(d.Chunks(0)); got != 1 {
+		t.Fatalf("chunks = %d, want 1", got)
+	}
+	msgs := d.HostMessages()
+	// Growing within the chunk allocates nothing and sends no messages.
+	if err := d.Grow(0, 8); err != nil {
+		t.Fatal(err)
+	}
+	if d.HostMessages() != msgs {
+		t.Error("no-op growth should not message the host")
+	}
+	// Spilling allocates exactly one more chunk.
+	if err := d.Grow(0, 9); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.Chunks(0)); got != 2 {
+		t.Fatalf("chunks after spill = %d, want 2", got)
+	}
+	if d.HostMessages() != msgs+1 {
+		t.Error("chunk spill should message the host once")
+	}
+}
+
+func TestDPATranslate(t *testing.T) {
+	d := newDPAT(t)
+	if err := d.Admit(7, 24); err != nil { // 3 MiB -> 3 chunks
+		t.Fatal(err)
+	}
+	chunks := d.Chunks(7)
+	if len(chunks) != 3 {
+		t.Fatalf("want 3 chunks, got %d", len(chunks))
+	}
+	for vc := 0; vc < 3; vc++ {
+		va := int64(vc)*mib + 12345
+		pa, err := d.Translate(7, va)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(chunks[vc])*mib + 12345
+		if pa != want {
+			t.Errorf("Translate(vc=%d) = %d, want %d", vc, pa, want)
+		}
+	}
+	if _, err := d.Translate(7, 3*mib); err == nil {
+		t.Error("translation beyond mapped region must fail")
+	}
+	if _, err := d.Translate(99, 0); err == nil {
+		t.Error("translation for unknown request must fail")
+	}
+}
+
+func TestDPANonContiguousAfterChurn(t *testing.T) {
+	d := newDPAT(t)
+	if err := d.Admit(0, 16); err != nil { // 2 chunks
+		t.Fatal(err)
+	}
+	if err := d.Admit(1, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Release(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Admit(2, 24); err != nil { // 3 chunks: reuses freed + fresh
+		t.Fatal(err)
+	}
+	chunks := d.Chunks(2)
+	contig := true
+	for i := 1; i < len(chunks); i++ {
+		if chunks[i] != chunks[i-1]+1 {
+			contig = false
+		}
+	}
+	if contig {
+		t.Log("note: chunks happened to be contiguous; VA2PA still required")
+	}
+	// Translation must remain correct regardless of physical layout.
+	for vc := range chunks {
+		pa, err := d.Translate(2, int64(vc)*mib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pa != int64(chunks[vc])*mib {
+			t.Errorf("vc %d -> pa %d, want chunk base %d", vc, pa, int64(chunks[vc])*mib)
+		}
+	}
+}
+
+func TestReleaseUnknownFails(t *testing.T) {
+	s := newStaticT(t)
+	d := newDPAT(t)
+	if err := s.Release(9); err == nil {
+		t.Error("static release of unknown request should fail")
+	}
+	if err := d.Release(9); err == nil {
+		t.Error("DPA release of unknown request should fail")
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewStatic(0, 1, 1); err == nil {
+		t.Error("zero capacity static should fail")
+	}
+	if _, err := NewDPA(10, 1, 100); err == nil {
+		t.Error("capacity below one chunk should fail")
+	}
+	if _, err := NewDPA(gib, -1, mib); err == nil {
+		t.Error("negative bytes/token should fail")
+	}
+}
+
+// Property: under random admit/grow/release traffic the DPA allocator never
+// double-maps a physical chunk, never leaks, and utilization stays in [0,1].
+func TestDPAInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d, err := NewDPA(64*mib, 8*kib, mib)
+		if err != nil {
+			return false
+		}
+		live := map[int]int{}
+		nextID := 0
+		for step := 0; step < 200; step++ {
+			switch rng.Intn(3) {
+			case 0:
+				tok := rng.Intn(2000) + 1
+				if d.CanAdmit(tok) {
+					if d.Admit(nextID, tok) != nil {
+						return false
+					}
+					live[nextID] = tok
+					nextID++
+				}
+			case 1:
+				for id, tok := range live {
+					nt := tok + rng.Intn(500)
+					if err := d.Grow(id, nt); err == nil {
+						live[id] = nt
+					}
+					break
+				}
+			case 2:
+				for id := range live {
+					if d.Release(id) != nil {
+						return false
+					}
+					delete(live, id)
+					break
+				}
+			}
+			// Invariant: no physical chunk is mapped twice.
+			seen := map[ChunkID]bool{}
+			var mapped int64
+			for id := range live {
+				for _, c := range d.Chunks(id) {
+					if seen[c] {
+						return false
+					}
+					seen[c] = true
+					mapped++
+				}
+			}
+			if mapped*mib != d.ReservedBytes() {
+				return false
+			}
+			if u := Utilization(d); u < 0 || u > 1.0000001 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: static reserved bytes is always batch * T_max reservation and
+// live never exceeds reserved.
+func TestStaticInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, err := NewStatic(gib, 64*kib, 2048)
+		if err != nil {
+			return false
+		}
+		admitted := 0
+		for i := 0; i < 20; i++ {
+			tok := rng.Intn(2048) + 1
+			if s.CanAdmit(tok) {
+				if s.Admit(i, tok) != nil {
+					return false
+				}
+				admitted++
+			}
+		}
+		if s.ReservedBytes() != int64(admitted)*2048*64*kib {
+			return false
+		}
+		return s.LiveBytes() <= s.ReservedBytes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

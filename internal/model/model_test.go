@@ -1,0 +1,170 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllConfigsValidate(t *testing.T) {
+	for _, c := range All() {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	c := LLM7B32K()
+	c.DIn = 1000 // != Heads*HeadDim
+	if err := c.Validate(); err == nil {
+		t.Error("mismatched DIn should fail validation")
+	}
+	c2 := LLM7B32K()
+	c2.GQAGroup = 3 // does not divide 32
+	if err := c2.Validate(); err == nil {
+		t.Error("non-dividing GQA group should fail validation")
+	}
+}
+
+func TestWeightFootprints(t *testing.T) {
+	// The 7B-class model should weigh in near 14 GB at fp16, the 72B-class
+	// near 140 GB (Table I shapes approximate the real checkpoints).
+	w7 := float64(LLM7B32K().WeightBytes()) / (1 << 30)
+	if w7 < 10 || w7 > 20 {
+		t.Errorf("7B weights = %.1f GiB, want ~14", w7)
+	}
+	w72 := float64(LLM72B32K().WeightBytes()) / (1 << 30)
+	if w72 < 110 || w72 > 170 {
+		t.Errorf("72B weights = %.1f GiB, want ~140", w72)
+	}
+	// GQA shrinks the KV projections, so GQA models are slightly smaller.
+	if LLM7B128KGQA().WeightBytes() >= LLM7B32K().WeightBytes() {
+		t.Error("GQA model should have fewer parameters than MHA sibling")
+	}
+}
+
+func TestKVBytesPerToken(t *testing.T) {
+	// Non-GQA 7B: 2 * 32 heads * 128 * 2B * 32 layers = 512 KiB/token.
+	if got := LLM7B32K().KVBytesPerToken(); got != 512<<10 {
+		t.Errorf("7B KV/token = %d, want 512 KiB", got)
+	}
+	// GQA g=4 divides it by 4.
+	if got := LLM7B128KGQA().KVBytesPerToken(); got != 128<<10 {
+		t.Errorf("7B-GQA KV/token = %d, want 128 KiB", got)
+	}
+	// 72B GQA g=8: 2 * 8 * 128 * 2 * 80 = 320 KiB.
+	if got := LLM72B128KGQA().KVBytesPerToken(); got != 320<<10 {
+		t.Errorf("72B-GQA KV/token = %d, want 320 KiB", got)
+	}
+}
+
+func TestComputeIntensityDropsWithContext(t *testing.T) {
+	c := LLM7B128KGQA()
+	const batch = 16 // Fig. 2a is a batched-serving scenario
+	prev := c.ComputeIntensity(batch, 1024)
+	for _, tk := range []int{4096, 16384, 65536, 262144, 1 << 20} {
+		ci := c.ComputeIntensity(batch, tk)
+		if ci >= prev {
+			t.Errorf("compute intensity should fall with context: %d tokens -> %.3f (prev %.3f)", tk, ci, prev)
+		}
+		prev = ci
+	}
+	// Long-context decode is GEMV-bound: a handful of FLOPs per byte.
+	if ci := c.ComputeIntensity(batch, 1<<20); ci > 8 {
+		t.Errorf("1M-token intensity = %.2f FLOPs/B, expected memory-bound (<8)", ci)
+	}
+}
+
+func TestAttentionShareGrows(t *testing.T) {
+	c := LLM7B32K()
+	if s4, s32 := c.AttentionShare(4096), c.AttentionShare(32768); s32 <= s4 {
+		t.Errorf("attention share should grow with context: %f -> %f", s4, s32)
+	}
+	// Non-GQA 7B at 32K: KV = 16 GiB vs 14 GiB weights -> majority.
+	if s := c.AttentionShare(32768); s < 0.5 {
+		t.Errorf("32K non-GQA attention share = %.2f, want > 0.5", s)
+	}
+}
+
+func TestMemoryFootprintFig2b(t *testing.T) {
+	c := LLM7B128KGQA()
+	// A100-80GB: batch 8 at 128K context must overflow (Fig. 2b's point).
+	if got := c.MemoryFootprint(8, 128<<10); got <= 80<<30 {
+		t.Errorf("batch-8 @128K footprint = %d GiB, expected OOM vs 80 GiB", got>>30)
+	}
+	// batch 1 at short context fits easily.
+	if got := c.MemoryFootprint(1, 4096); got >= 80<<30 {
+		t.Errorf("batch-1 @4K footprint = %d GiB, expected to fit", got>>30)
+	}
+}
+
+func TestFCShapes(t *testing.T) {
+	c := LLM72B128KGQA()
+	shapes := c.FCShapes()
+	if len(shapes) != 7 {
+		t.Fatalf("expected 7 FC shapes, got %d", len(shapes))
+	}
+	var kOut int
+	for _, s := range shapes {
+		if s.DIn <= 0 || s.DOut <= 0 {
+			t.Errorf("%s has non-positive dims", s.Name)
+		}
+		if s.Name == "k_proj" {
+			kOut = s.DOut
+		}
+	}
+	if kOut != c.DIn/8 {
+		t.Errorf("k_proj out = %d, want DIn/8 for g=8", kOut)
+	}
+}
+
+func TestAttentionShape(t *testing.T) {
+	c := LLM72B128KGQA()
+	a := c.Attention(65536)
+	if a.KVHeads != 8 || a.Queries != 8 || a.HeadDim != 128 || a.Tokens != 65536 {
+		t.Errorf("unexpected attention shape: %+v", a)
+	}
+}
+
+// Property: footprints and FLOPs are monotone in tokens and batch.
+func TestMonotonicityProperties(t *testing.T) {
+	c := LLM7B32K()
+	f := func(a, b uint16) bool {
+		t1, t2 := int(a)+1, int(a)+int(b)+2
+		if c.KVBytes(t1) > c.KVBytes(t2) {
+			return false
+		}
+		if c.DecodeFLOPs(t1) > c.DecodeFLOPs(t2) {
+			return false
+		}
+		return c.MemoryFootprint(1, t1) <= c.MemoryFootprint(2, t1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FLOPs/bytes are consistent — intensity equals their ratio.
+func TestIntensityConsistency(t *testing.T) {
+	for _, c := range All() {
+		for _, tk := range []int{1024, 32768, 1 << 20} {
+			want := float64(c.DecodeFLOPs(tk)) / float64(c.DecodeBytes(tk))
+			if got := c.ComputeIntensity(1, tk); got != want {
+				t.Errorf("%s @%d: intensity %f != %f", c.Name, tk, got, want)
+			}
+		}
+	}
+}
+
+// Property: higher batch raises intensity (weights amortize), and the
+// limit as batch grows is bounded by the attention intensity.
+func TestBatchRaisesIntensity(t *testing.T) {
+	c := LLM72B32K()
+	f := func(a uint8) bool {
+		b := int(a%63) + 1
+		return c.ComputeIntensity(b+1, 16384) >= c.ComputeIntensity(b, 16384)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,271 @@
+// Package perfmodel turns kernel shapes into channel latencies: it builds
+// the command stack for a kernel (internal/kernels), schedules it under the
+// selected controller (internal/sched) and memoizes the result.
+//
+// Long-context sweeps query millions of nearly identical shapes (token
+// counts grow by one per decode step), so token counts are quantized to 32
+// logarithmically spaced buckets per octave and the simulated latency is
+// scaled linearly to the exact token count; attention kernels are linear in
+// tokens beyond the fixed query-setup work, keeping the error well under
+// the run-to-run noise of the modelled hardware.
+package perfmodel
+
+import (
+	"fmt"
+	"sync"
+
+	"pimphony/internal/kernels"
+	"pimphony/internal/pim"
+	"pimphony/internal/sched"
+	"pimphony/internal/timing"
+)
+
+// Kernel enumerates the kernels the service can price.
+type Kernel uint8
+
+const (
+	// QKT is the attention score kernel.
+	QKT Kernel = iota
+	// SV is the attention value-aggregation kernel.
+	SV
+	// GEMV is a fully-connected kernel.
+	GEMV
+)
+
+// String implements fmt.Stringer.
+func (k Kernel) String() string {
+	switch k {
+	case QKT:
+		return "qkt"
+	case SV:
+		return "sv"
+	case GEMV:
+		return "gemv"
+	default:
+		return fmt.Sprintf("Kernel(%d)", uint8(k))
+	}
+}
+
+// Sched selects the controller.
+type Sched uint8
+
+const (
+	// Static is the conventional in-order controller.
+	Static Sched = iota
+	// PingPong is the dual-buffering baseline.
+	PingPong
+	// DCS is PIMphony's dynamic scheduler.
+	DCS
+	// DCSNoIsMAC is DCS with the is-MAC bypass disabled (ablation).
+	DCSNoIsMAC
+)
+
+// String implements fmt.Stringer.
+func (s Sched) String() string {
+	switch s {
+	case Static:
+		return "static"
+	case PingPong:
+		return "pingpong"
+	case DCS:
+		return "dcs"
+	case DCSNoIsMAC:
+		return "dcs-no-ismac"
+	default:
+		return fmt.Sprintf("Sched(%d)", uint8(s))
+	}
+}
+
+// Query is one kernel-latency request. For attention kernels Tokens is the
+// per-channel token count and Dh the head dimension; for GEMV Tokens is the
+// input dimension and Dh the output dimension.
+type Query struct {
+	Kernel   Kernel
+	Tokens   int
+	Dh       int
+	Queries  int
+	RowReuse bool
+	Baseline bool // baseline OutReg geometry instead of PIMphony's OBuf
+	Sched    Sched
+}
+
+// Latency is the priced result, linearly rescaled to the exact token count.
+type Latency struct {
+	Cycles    timing.Cycles
+	Breakdown sched.Breakdown
+	MACUtil   float64
+	MACs      int64
+	IOBytes   int64
+	ActPre    int64
+}
+
+// Service memoizes kernel latencies for one device.
+type Service struct {
+	dev timing.Device
+
+	mu    sync.Mutex
+	cache map[Query]Latency
+	// Misses counts cold simulations (observability for tests/benches).
+	misses int
+}
+
+// New creates a latency service.
+func New(dev timing.Device) *Service {
+	return &Service{dev: dev, cache: make(map[Query]Latency)}
+}
+
+// CacheMisses reports how many cold simulations ran.
+func (s *Service) CacheMisses() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.misses
+}
+
+// quantize rounds tokens up so at most 32 buckets exist per octave, bounding
+// both cache size and scaling error (< ~3%).
+func quantize(tokens int) int {
+	if tokens <= 64 {
+		return tokens
+	}
+	step := 1
+	for tokens>>5 >= step<<1 {
+		step <<= 1
+	}
+	return (tokens + step - 1) / step * step
+}
+
+// maxAttnSimTokens caps the per-channel token count that is simulated
+// command-by-command; longer slices are priced at the cap and scaled
+// linearly. Attention command streams are strictly periodic beyond a few
+// rows, so the extrapolation is exact up to the fixed setup work.
+const maxAttnSimTokens = 1 << 16
+
+// Price returns the latency of a kernel query.
+func (s *Service) Price(q Query) (Latency, error) {
+	if q.Tokens <= 0 || q.Dh <= 0 {
+		return Latency{}, fmt.Errorf("perfmodel: non-positive shape %+v", q)
+	}
+	if q.Queries <= 0 {
+		q.Queries = 1
+	}
+	exact := q.Tokens
+	if q.Kernel != GEMV {
+		q.Tokens = quantize(q.Tokens)
+		if q.Tokens > maxAttnSimTokens {
+			q.Tokens = maxAttnSimTokens
+		}
+	}
+	s.mu.Lock()
+	lat, ok := s.cache[q]
+	if !ok {
+		s.mu.Unlock()
+		var err error
+		lat, err = s.simulate(q)
+		if err != nil {
+			return Latency{}, err
+		}
+		s.mu.Lock()
+		s.cache[q] = lat
+		s.misses++
+	}
+	s.mu.Unlock()
+	if q.Kernel != GEMV && exact != q.Tokens {
+		f := float64(exact) / float64(q.Tokens)
+		lat = scale(lat, f)
+	}
+	return lat, nil
+}
+
+func scale(l Latency, f float64) Latency {
+	return Latency{
+		Cycles: timing.Cycles(float64(l.Cycles) * f),
+		Breakdown: sched.Breakdown{
+			MAC:      timing.Cycles(float64(l.Breakdown.MAC) * f),
+			ActPre:   timing.Cycles(float64(l.Breakdown.ActPre) * f),
+			Refresh:  timing.Cycles(float64(l.Breakdown.Refresh) * f),
+			DTGBuf:   timing.Cycles(float64(l.Breakdown.DTGBuf) * f),
+			DTOutReg: timing.Cycles(float64(l.Breakdown.DTOutReg) * f),
+			Penalty:  timing.Cycles(float64(l.Breakdown.Penalty) * f),
+		},
+		MACUtil: l.MACUtil,
+		MACs:    int64(float64(l.MACs) * f),
+		IOBytes: int64(float64(l.IOBytes) * f),
+		ActPre:  int64(float64(l.ActPre) * f),
+	}
+}
+
+func (s *Service) simulate(q Query) (Latency, error) {
+	var buf kernels.Buffers
+	if q.Baseline {
+		buf = kernels.BaselineBuffers(s.dev)
+	} else {
+		buf = kernels.OBufBuffers(s.dev)
+	}
+	kc := kernels.NewConfig(s.dev, buf)
+	var (
+		stack *pim.Stack
+		err   error
+	)
+	switch q.Kernel {
+	case QKT:
+		stack, err = kc.QKT(q.Tokens, q.Dh, q.Queries, q.RowReuse)
+	case SV:
+		stack, err = kc.SV(q.Tokens, q.Dh, q.Queries, q.RowReuse)
+	case GEMV:
+		stack, err = kc.GEMV(q.Tokens, q.Dh)
+	default:
+		return Latency{}, fmt.Errorf("perfmodel: unknown kernel %d", q.Kernel)
+	}
+	if err != nil {
+		return Latency{}, err
+	}
+	var scheduler sched.Scheduler
+	switch q.Sched {
+	case Static:
+		scheduler = &sched.Static{Dev: s.dev}
+	case PingPong:
+		scheduler = &sched.PingPong{Dev: s.dev}
+	case DCS:
+		scheduler = &sched.DCS{Dev: s.dev}
+	case DCSNoIsMAC:
+		scheduler = &sched.DCS{Dev: s.dev, DisableIsMAC: true}
+	default:
+		return Latency{}, fmt.Errorf("perfmodel: unknown scheduler %d", q.Sched)
+	}
+	res, err := scheduler.Schedule(stack)
+	if err != nil {
+		return Latency{}, err
+	}
+	st := kernels.StackStats(stack)
+	return Latency{
+		Cycles:    res.Total,
+		Breakdown: res.Breakdown,
+		MACUtil:   res.MACUtilization(),
+		MACs:      int64(st.Mac),
+		IOBytes:   int64(st.WrInp+st.RdOut) * int64(s.dev.TileBytes),
+		ActPre:    int64(st.Act),
+	}, nil
+}
+
+// AttentionLatency prices a full per-channel attention slice: QK^T plus SV
+// for the given per-channel token count.
+func (s *Service) AttentionLatency(tokens, dh, queries int, rowReuse, baseline bool, sc Sched) (Latency, error) {
+	qkt, err := s.Price(Query{Kernel: QKT, Tokens: tokens, Dh: dh, Queries: queries, RowReuse: rowReuse, Baseline: baseline, Sched: sc})
+	if err != nil {
+		return Latency{}, err
+	}
+	sv, err := s.Price(Query{Kernel: SV, Tokens: tokens, Dh: dh, Queries: queries, RowReuse: rowReuse, Baseline: baseline, Sched: sc})
+	if err != nil {
+		return Latency{}, err
+	}
+	sum := qkt
+	sum.Cycles += sv.Cycles
+	sum.Breakdown.Add(sv.Breakdown)
+	sum.MACs += sv.MACs
+	sum.IOBytes += sv.IOBytes
+	sum.ActPre += sv.ActPre
+	if sum.Cycles > 0 {
+		sum.MACUtil = float64(sum.Breakdown.MAC) / float64(sum.Cycles)
+	}
+	return sum, nil
+}

@@ -1,0 +1,157 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pimphony/internal/timing"
+)
+
+func TestQuantizeBounds(t *testing.T) {
+	f := func(raw uint32) bool {
+		n := int(raw%2_000_000) + 1
+		q := quantize(n)
+		if q < n {
+			return false // never rounds down
+		}
+		return float64(q-n)/float64(n) <= 1.0/16 // bounded relative error
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	// Small values are exact.
+	for n := 1; n <= 64; n++ {
+		if quantize(n) != n {
+			t.Fatalf("quantize(%d) = %d, want exact", n, quantize(n))
+		}
+	}
+}
+
+func TestCacheHitsAcrossNearbyTokens(t *testing.T) {
+	s := New(timing.AiM16())
+	base := Query{Kernel: QKT, Tokens: 100000, Dh: 128, Queries: 1, Sched: DCS}
+	if _, err := s.Price(base); err != nil {
+		t.Fatal(err)
+	}
+	misses := s.CacheMisses()
+	// 100 consecutive decode steps should not trigger new simulations more
+	// than a couple of times (bucket boundaries).
+	for i := 1; i <= 100; i++ {
+		q := base
+		q.Tokens += i
+		if _, err := s.Price(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if extra := s.CacheMisses() - misses; extra > 2 {
+		t.Errorf("100 decode steps caused %d cold simulations, want <= 2", extra)
+	}
+}
+
+func TestScalingIsApproximatelyLinear(t *testing.T) {
+	s := New(timing.AiM16())
+	l1, err := s.Price(Query{Kernel: SV, Tokens: 4096, Dh: 128, Queries: 1, Sched: DCS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := s.Price(Query{Kernel: SV, Tokens: 8192, Dh: 128, Queries: 1, Sched: DCS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(l2.Cycles) / float64(l1.Cycles)
+	if math.Abs(ratio-2) > 0.2 {
+		t.Errorf("doubling tokens changed latency by %.2fx, want ~2x", ratio)
+	}
+}
+
+func TestSchedulerOrderingHolds(t *testing.T) {
+	s := New(timing.AiM16())
+	q := Query{Kernel: QKT, Tokens: 8192, Dh: 128, Queries: 4, RowReuse: true}
+	var totals [3]timing.Cycles
+	for i, sc := range []Sched{Static, PingPong, DCS} {
+		q.Sched = sc
+		l, err := s.Price(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totals[i] = l.Cycles
+	}
+	if !(totals[2] <= totals[1] && totals[1] <= totals[0]) {
+		t.Errorf("want dcs <= pingpong <= static, got %v", totals)
+	}
+}
+
+func TestBreakdownConsistency(t *testing.T) {
+	s := New(timing.AiM16())
+	l, err := s.Price(Query{Kernel: QKT, Tokens: 5000, Dh: 128, Queries: 2, Sched: DCS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After scaling, the breakdown must still sum to within rounding of the
+	// total (each component is rounded independently).
+	diff := int64(l.Breakdown.Total() - l.Cycles)
+	if diff < -8 || diff > 8 {
+		t.Errorf("scaled breakdown off by %d cycles", diff)
+	}
+	if l.MACs <= 0 || l.IOBytes <= 0 {
+		t.Error("counts must be positive")
+	}
+}
+
+func TestAttentionLatencyCombines(t *testing.T) {
+	s := New(timing.AiM16())
+	att, err := s.AttentionLatency(4096, 128, 1, false, false, DCS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qkt, _ := s.Price(Query{Kernel: QKT, Tokens: 4096, Dh: 128, Queries: 1, Sched: DCS})
+	sv, _ := s.Price(Query{Kernel: SV, Tokens: 4096, Dh: 128, Queries: 1, Sched: DCS})
+	if att.Cycles != qkt.Cycles+sv.Cycles {
+		t.Errorf("attention = %d, want %d + %d", att.Cycles, qkt.Cycles, sv.Cycles)
+	}
+	if att.MACUtil <= 0 || att.MACUtil > 1 {
+		t.Errorf("combined MAC util %f out of range", att.MACUtil)
+	}
+}
+
+func TestInvalidQueries(t *testing.T) {
+	s := New(timing.AiM16())
+	if _, err := s.Price(Query{Kernel: QKT, Tokens: 0, Dh: 128}); err == nil {
+		t.Error("zero tokens should fail")
+	}
+	if _, err := s.Price(Query{Kernel: Kernel(99), Tokens: 16, Dh: 16}); err == nil {
+		t.Error("unknown kernel should fail")
+	}
+	if _, err := s.Price(Query{Kernel: QKT, Tokens: 16, Dh: 16, Sched: Sched(99)}); err == nil {
+		t.Error("unknown scheduler should fail")
+	}
+}
+
+func TestGEMVPath(t *testing.T) {
+	s := New(timing.AiM16())
+	l, err := s.Price(Query{Kernel: GEMV, Tokens: 4096, Dh: 4096, Sched: Static})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Cycles <= 0 {
+		t.Fatal("GEMV latency must be positive")
+	}
+	// GEMV queries are not quantized: same query = exact cache hit.
+	m := s.CacheMisses()
+	if _, err := s.Price(Query{Kernel: GEMV, Tokens: 4096, Dh: 4096, Sched: Static}); err != nil {
+		t.Fatal(err)
+	}
+	if s.CacheMisses() != m {
+		t.Error("identical GEMV query should hit the cache")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if QKT.String() != "qkt" || SV.String() != "sv" || GEMV.String() != "gemv" {
+		t.Error("kernel names changed")
+	}
+	if Static.String() != "static" || DCS.String() != "dcs" {
+		t.Error("sched names changed")
+	}
+}

@@ -1,0 +1,149 @@
+// Package refmath provides a small float32 reference implementation of the
+// decoder math PIM executes (GEMV, softmax, single-query attention). It is
+// the ground truth used to verify that the partitioning and reduction
+// bookkeeping of the performance model (TCP token slicing, EPU softmax and
+// SV partial-sum reduction) is numerically faithful.
+package refmath
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// GEMV computes y = x * W for x of length din and W of shape (din, dout),
+// stored row-major.
+func GEMV(x []float32, w [][]float32) ([]float32, error) {
+	if len(w) != len(x) {
+		return nil, fmt.Errorf("refmath: GEMV dims mismatch: len(x)=%d rows(W)=%d", len(x), len(w))
+	}
+	if len(w) == 0 {
+		return nil, fmt.Errorf("refmath: empty GEMV")
+	}
+	dout := len(w[0])
+	y := make([]float32, dout)
+	for i, xi := range x {
+		if len(w[i]) != dout {
+			return nil, fmt.Errorf("refmath: ragged weight row %d", i)
+		}
+		for j, wij := range w[i] {
+			y[j] += xi * wij
+		}
+	}
+	return y, nil
+}
+
+// Softmax computes a numerically-stable softmax in place and returns it.
+func Softmax(x []float32) []float32 {
+	if len(x) == 0 {
+		return x
+	}
+	max := x[0]
+	for _, v := range x[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	var sum float64
+	for i, v := range x {
+		e := math.Exp(float64(v - max))
+		x[i] = float32(e)
+		sum += e
+	}
+	for i := range x {
+		x[i] = float32(float64(x[i]) / sum)
+	}
+	return x
+}
+
+// Attention computes single-query attention: softmax(q . K^T / sqrt(d)) * V
+// with K and V of shape (tokens, d).
+func Attention(q []float32, k, v [][]float32) ([]float32, error) {
+	if len(k) != len(v) {
+		return nil, fmt.Errorf("refmath: K/V token mismatch: %d vs %d", len(k), len(v))
+	}
+	if len(k) == 0 {
+		return nil, fmt.Errorf("refmath: empty attention")
+	}
+	d := len(q)
+	scores := make([]float32, len(k))
+	scale := float32(1.0 / math.Sqrt(float64(d)))
+	for t, kt := range k {
+		if len(kt) != d {
+			return nil, fmt.Errorf("refmath: key %d has dim %d, want %d", t, len(kt), d)
+		}
+		var s float32
+		for i := range q {
+			s += q[i] * kt[i]
+		}
+		scores[t] = s * scale
+	}
+	Softmax(scores)
+	out := make([]float32, len(v[0]))
+	for t, vt := range v {
+		for i := range out {
+			out[i] += scores[t] * vt[i]
+		}
+	}
+	return out, nil
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float32) (float32, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("refmath: dot length mismatch %d vs %d", len(a), len(b))
+	}
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s, nil
+}
+
+// Add accumulates src into dst element-wise.
+func Add(dst, src []float32) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("refmath: add length mismatch %d vs %d", len(dst), len(src))
+	}
+	for i := range src {
+		dst[i] += src[i]
+	}
+	return nil
+}
+
+// MaxAbsDiff returns the largest element-wise absolute difference.
+func MaxAbsDiff(a, b []float32) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var m float64
+	for i := 0; i < n; i++ {
+		d := math.Abs(float64(a[i] - b[i]))
+		if d > m {
+			m = d
+		}
+	}
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	return m
+}
+
+// RandVec samples a deterministic vector in [-1, 1).
+func RandVec(rng *rand.Rand, n int) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = rng.Float32()*2 - 1
+	}
+	return v
+}
+
+// RandMat samples a deterministic (rows, cols) matrix in [-1, 1).
+func RandMat(rng *rand.Rand, rows, cols int) [][]float32 {
+	m := make([][]float32, rows)
+	for i := range m {
+		m[i] = RandVec(rng, cols)
+	}
+	return m
+}

@@ -1,0 +1,150 @@
+package refmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGEMVKnown(t *testing.T) {
+	x := []float32{1, 2}
+	w := [][]float32{{1, 0, 2}, {0, 1, 3}}
+	y, err := GEMV(x, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{1, 2, 8}
+	if MaxAbsDiff(y, want) > 1e-6 {
+		t.Fatalf("GEMV = %v, want %v", y, want)
+	}
+}
+
+func TestGEMVErrors(t *testing.T) {
+	if _, err := GEMV([]float32{1}, [][]float32{{1}, {2}}); err == nil {
+		t.Error("dim mismatch should fail")
+	}
+	if _, err := GEMV(nil, nil); err == nil {
+		t.Error("empty GEMV should fail")
+	}
+	if _, err := GEMV([]float32{1, 2}, [][]float32{{1, 2}, {3}}); err == nil {
+		t.Error("ragged matrix should fail")
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := RandVec(rng, rng.Intn(100)+1)
+		for i := range x {
+			x[i] *= 20 // widen range to stress stability
+		}
+		s := Softmax(x)
+		var sum float64
+		for _, v := range s {
+			if v < 0 || math.IsNaN(float64(v)) {
+				return false
+			}
+			sum += float64(v)
+		}
+		return math.Abs(sum-1) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxStability(t *testing.T) {
+	s := Softmax([]float32{1000, 1000, 1000})
+	for _, v := range s {
+		if math.Abs(float64(v)-1.0/3) > 1e-5 {
+			t.Fatalf("large-input softmax unstable: %v", s)
+		}
+	}
+	if out := Softmax(nil); len(out) != 0 {
+		t.Fatal("empty softmax should stay empty")
+	}
+}
+
+func TestAttentionUniform(t *testing.T) {
+	// Identical keys -> uniform scores -> output is the mean of values.
+	q := []float32{1, 0}
+	k := [][]float32{{1, 1}, {1, 1}, {1, 1}}
+	v := [][]float32{{3, 0}, {6, 0}, {0, 9}}
+	out, err := Attention(q, k, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{3, 3}
+	if MaxAbsDiff(out, want) > 1e-5 {
+		t.Fatalf("attention = %v, want %v", out, want)
+	}
+}
+
+func TestAttentionErrors(t *testing.T) {
+	if _, err := Attention([]float32{1}, [][]float32{{1}}, nil); err == nil {
+		t.Error("K/V mismatch should fail")
+	}
+	if _, err := Attention([]float32{1}, nil, nil); err == nil {
+		t.Error("empty attention should fail")
+	}
+	if _, err := Attention([]float32{1, 2}, [][]float32{{1}}, [][]float32{{1}}); err == nil {
+		t.Error("key dim mismatch should fail")
+	}
+}
+
+func TestDotAndAdd(t *testing.T) {
+	d, err := Dot([]float32{1, 2, 3}, []float32{4, 5, 6})
+	if err != nil || d != 32 {
+		t.Fatalf("Dot = %f, %v", d, err)
+	}
+	if _, err := Dot([]float32{1}, []float32{1, 2}); err == nil {
+		t.Error("dot length mismatch should fail")
+	}
+	dst := []float32{1, 1}
+	if err := Add(dst, []float32{2, 3}); err != nil || dst[0] != 3 || dst[1] != 4 {
+		t.Fatalf("Add broken: %v %v", dst, err)
+	}
+	if err := Add(dst, []float32{1}); err == nil {
+		t.Error("add length mismatch should fail")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	if d := MaxAbsDiff([]float32{1, 2}, []float32{1, 5}); d != 3 {
+		t.Fatalf("MaxAbsDiff = %f", d)
+	}
+	if d := MaxAbsDiff([]float32{1}, []float32{1, 2}); !math.IsInf(d, 1) {
+		t.Fatal("length mismatch should be +Inf")
+	}
+}
+
+// Property: GEMV is linear — GEMV(a*x) = a*GEMV(x).
+func TestGEMVLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := RandVec(rng, 8)
+		w := RandMat(rng, 8, 6)
+		y1, err := GEMV(x, w)
+		if err != nil {
+			return false
+		}
+		xs := make([]float32, len(x))
+		for i := range x {
+			xs[i] = 2 * x[i]
+		}
+		y2, err := GEMV(xs, w)
+		if err != nil {
+			return false
+		}
+		for i := range y1 {
+			if math.Abs(float64(y2[i]-2*y1[i])) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

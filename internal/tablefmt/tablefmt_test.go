@@ -1,0 +1,57 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRendering(t *testing.T) {
+	tb := New("demo", "name", "value")
+	tb.AddRow("alpha", 1234.5678)
+	tb.AddRow("b", 0.1234)
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1235") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Errorf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		12345:   "12345",
+		42.42:   "42.4",
+		0.98765: "0.988",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.AddRow(1, 2)
+	csv := tb.CSV()
+	if csv != "a,b\n1,2\n" {
+		t.Errorf("CSV = %q", csv)
+	}
+}
+
+func TestAlignment(t *testing.T) {
+	tb := New("", "x", "yyyyyy")
+	tb.AddRow("longvalue", "s")
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// All lines should be equally wide (trailing spaces trimmed per line).
+	if len(lines[0]) == 0 || len(lines[1]) == 0 {
+		t.Fatalf("bad render:\n%s", out)
+	}
+}

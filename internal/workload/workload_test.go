@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTracesValidate(t *testing.T) {
+	for _, tr := range All() {
+		if err := tr.Validate(); err != nil {
+			t.Errorf("%s: %v", tr.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	tr, err := ByName("QMSum")
+	if err != nil || tr.Suite != "LongBench" {
+		t.Fatalf("ByName(QMSum) = %+v, %v", tr, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown trace should error")
+	}
+}
+
+// TestTable2Reproduction checks that sampled statistics land near the
+// paper's Table II values. The normal fit is truncated, which biases the
+// sample mean slightly; we allow 15% on mean and 35% on std.
+func TestTable2Reproduction(t *testing.T) {
+	for _, tr := range All() {
+		g := NewGenerator(tr, 42)
+		st := Summarize(g.Batch(4000))
+		if rel := math.Abs(st.Mean-tr.Mean) / tr.Mean; rel > 0.15 {
+			t.Errorf("%s: sample mean %.0f vs table %.0f (%.1f%% off)", tr.Name, st.Mean, tr.Mean, 100*rel)
+		}
+		if tr.Std > 0 {
+			if rel := math.Abs(st.Std-tr.Std) / tr.Std; rel > 0.35 {
+				t.Errorf("%s: sample std %.0f vs table %.0f (%.1f%% off)", tr.Name, st.Std, tr.Std, 100*rel)
+			}
+		}
+		if st.Min < tr.Min || st.Max > tr.Max {
+			t.Errorf("%s: sample range [%d,%d] escapes table range [%d,%d]",
+				tr.Name, st.Min, st.Max, tr.Min, tr.Max)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewGenerator(QMSum(), 7).Batch(100)
+	b := NewGenerator(QMSum(), 7).Batch(100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("generators with same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := NewGenerator(QMSum(), 8).Batch(100)
+	same := true
+	for i := range a {
+		if a[i].Context != c[i].Context {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRequestIDsAreSequential(t *testing.T) {
+	g := NewGenerator(Musique(), 1)
+	for i := 0; i < 10; i++ {
+		if r := g.Next(); r.ID != i {
+			t.Fatalf("request %d has ID %d", i, r.ID)
+		}
+	}
+}
+
+// Property: samples always respect the trace's truncation bounds.
+func TestSampleBoundsProperty(t *testing.T) {
+	f := func(seed int64, which uint8) bool {
+		tr := All()[int(which)%4]
+		g := NewGenerator(tr, seed)
+		for i := 0; i < 50; i++ {
+			c := g.SampleContext()
+			if c < tr.Min || c > tr.Max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreeSigma(t *testing.T) {
+	g := ThreeSigma(65536, 3)
+	st := Summarize(g.Batch(2000))
+	if math.Abs(st.Mean-65536)/65536 > 0.05 {
+		t.Errorf("3-sigma mean %.0f, want ~65536", st.Mean)
+	}
+	if st.Min < 65536/2 || st.Max > 3*65536/2 {
+		t.Errorf("3-sigma range [%d,%d] out of bounds", st.Min, st.Max)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	g := Uniform(4096, 1)
+	for _, r := range g.Batch(10) {
+		if r.Context != 4096 {
+			t.Fatalf("uniform generator produced %d", r.Context)
+		}
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if st := Summarize(nil); st.N != 0 || st.Mean != 0 {
+		t.Fatalf("empty summary should be zero, got %+v", st)
+	}
+}
+
+func TestSummarizeKnownValues(t *testing.T) {
+	reqs := []Request{{Context: 10}, {Context: 20}, {Context: 30}}
+	st := Summarize(reqs)
+	if st.Mean != 20 || st.Min != 10 || st.Max != 30 || st.Median != 20 || st.N != 3 {
+		t.Fatalf("unexpected summary %+v", st)
+	}
+	want := math.Sqrt(200.0 / 3.0)
+	if math.Abs(st.Std-want) > 1e-9 {
+		t.Fatalf("std = %f, want %f", st.Std, want)
+	}
+}
+
+func TestValidateCatchesBadTraces(t *testing.T) {
+	bad := []Trace{
+		{Name: "a", Mean: -1, Std: 1, Min: 1, Max: 2},
+		{Name: "b", Mean: 10, Std: 1, Min: 5, Max: 4},
+		{Name: "c", Mean: 100, Std: 1, Min: 1, Max: 50},
+		{Name: "d", Mean: 10, Std: -2, Min: 1, Max: 50},
+	}
+	for _, tr := range bad {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("trace %s should fail validation", tr.Name)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package xpu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDevicesValidate(t *testing.T) {
+	for _, d := range []Device{NeuPIMsNPU(32000), CENTPNM(16000), A100().Device} {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+	bad := Device{Name: "bad", TFLOPS: 0, MemGBs: 1, ComputeEff: 1, MemEff: 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero TFLOPS should fail")
+	}
+	bad2 := Device{Name: "bad2", TFLOPS: 1, MemGBs: 1, ComputeEff: 2, MemEff: 1}
+	if err := bad2.Validate(); err == nil {
+		t.Error("efficiency > 1 should fail")
+	}
+}
+
+func TestRooflineRegimes(t *testing.T) {
+	d := Device{Name: "t", TFLOPS: 100, MemGBs: 1000, ComputeEff: 1, MemEff: 1}
+	// 1 GFLOP on 1 KB: compute-bound (10 us compute vs 1 ns memory).
+	if !d.IsComputeBound(1e9, 1024) {
+		t.Error("large-FLOP small-byte op should be compute bound")
+	}
+	// 1 KFLOP on 1 GB: memory-bound.
+	if d.IsComputeBound(1024, 1<<30) {
+		t.Error("small-FLOP large-byte op should be memory bound")
+	}
+	// OpTime equals the binding roof.
+	if got, want := d.OpTime(1e9, 0), 1e9/1e14; got != want {
+		t.Errorf("compute-bound OpTime = %g, want %g", got, want)
+	}
+	if got, want := d.OpTime(0, 1e12), 1e12/1e12; got != want {
+		t.Errorf("memory-bound OpTime = %g, want %g", got, want)
+	}
+}
+
+// Property: OpTime is monotone in both flops and bytes.
+func TestOpTimeMonotone(t *testing.T) {
+	d := CENTPNM(16000)
+	f := func(a, b uint32) bool {
+		f1, b1 := int64(a), int64(b)
+		return d.OpTime(f1, b1) <= d.OpTime(f1*2, b1) &&
+			d.OpTime(f1, b1) <= d.OpTime(f1, b1*2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGPUDecodeRegime(t *testing.T) {
+	g := A100()
+	// 16 GiB of KV at ~1.4 TB/s effective: ~12 ms.
+	tm := g.AttentionTime(16 << 30)
+	if tm < 5e-3 || tm > 30e-3 {
+		t.Errorf("16 GiB KV attention time = %g s, outside plausible band", tm)
+	}
+	// Flash-decoding must not exceed raw bandwidth.
+	raw := float64(16<<30) / (g.MemGBs * 1e9)
+	if tm < raw {
+		t.Error("attention cannot beat raw bandwidth")
+	}
+}
+
+func TestGPUMaxBatch(t *testing.T) {
+	g := A100()
+	// 7B weights (14 GiB) + 2 GiB KV per request on 80 GiB: ~29 requests
+	// at 90% paging efficiency.
+	got := g.MaxBatch(14<<30, 2<<30)
+	if got < 25 || got > 32 {
+		t.Errorf("MaxBatch = %d, want ~29", got)
+	}
+	if g.MaxBatch(100<<30, 1<<30) != 0 {
+		t.Error("oversized weights should yield zero batch")
+	}
+	if g.MaxBatch(1<<30, 0) != 0 {
+		t.Error("zero KV per request should yield zero batch, not panic")
+	}
+}
+
+func TestNPUFasterThanPNMOnGEMM(t *testing.T) {
+	npu := NeuPIMsNPU(32000)
+	pnm := CENTPNM(16000)
+	// A fat batched GEMM: NPU's 256 TFLOPS should win over PNM's 3.
+	flops, bytes := int64(1e12), int64(1<<30)
+	if npu.OpTime(flops, bytes) >= pnm.OpTime(flops, bytes) {
+		t.Error("NPU should beat PNM on compute-heavy GEMM")
+	}
+}
