@@ -1,0 +1,39 @@
+# Local mirror of .github/workflows/ci.yml: `make ci` runs the exact
+# gates CI enforces.
+
+GO ?= go
+
+.PHONY: all fmt fmt-check vet build test test-short bench ci
+
+all: build
+
+# Format the tree in place.
+fmt:
+	gofmt -w .
+
+# CI gate: fail if any file needs formatting.
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+# Full test suite (regenerates every paper figure on the full grids).
+test:
+	$(GO) test ./...
+
+# The CI race lane: scaled-down grids, race detector on.
+test-short:
+	$(GO) test -race -short ./...
+
+# One iteration of every paper-figure benchmark on the short grids.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -short ./...
+
+ci: fmt-check vet build test-short bench

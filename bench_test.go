@@ -16,9 +16,14 @@ import (
 )
 
 // runExperiment executes one experiment per benchmark iteration, printing
-// its tables once.
+// its tables once. Under -short (the CI bench smoke lane) the scaled-down
+// grids are used.
 func runExperiment(b *testing.B, id string) {
 	b.Helper()
+	if testing.Short() {
+		prev := experiments.SetShort(true)
+		b.Cleanup(func() { experiments.SetShort(prev) })
+	}
 	printed := false
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Run(id)

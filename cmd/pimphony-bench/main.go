@@ -4,26 +4,46 @@
 //
 //	pimphony-bench -list
 //	pimphony-bench -run fig13
-//	pimphony-bench -run all [-csv]
+//	pimphony-bench -run all [-csv] [-parallel 8]
 //
 // Every experiment prints the same rows/series the paper reports;
-// EXPERIMENTS.md records the paper-vs-measured comparison.
+// EXPERIMENTS.md records the paper-vs-measured comparison. Experiments
+// (and the sweep points inside each experiment) fan out across -parallel
+// workers; output order and content are identical at every setting.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	"pimphony/internal/experiments"
+	"pimphony/internal/sweep"
 )
+
+// outcome is one experiment's run, successful or not: the binary keeps
+// going past failures and reports them all, so errors ride inside the
+// sweep result instead of cancelling it.
+type outcome struct {
+	id  string
+	res *experiments.Result
+	err error
+	dur time.Duration
+}
 
 func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	run := flag.String("run", "all", "experiment id to run, or 'all'")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	short := flag.Bool("short", false, "use the scaled-down CI grids")
+	parallel := flag.Int("parallel", 0, "worker bound per sweep level, 0 = GOMAXPROCS (nested sweeps each apply their own bound; 1 reproduces fully sequential runs)")
 	flag.Parse()
+
+	sweep.SetDefault(*parallel)
+	experiments.SetShort(*short)
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -36,25 +56,49 @@ func main() {
 	if *run != "all" {
 		ids = []string{*run}
 	}
-	failed := 0
-	for _, id := range ids {
-		start := time.Now()
-		res, err := experiments.Run(id)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
-			failed++
-			continue
+	emit := func(o outcome) bool {
+		if o.err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", o.id, o.err)
+			return false
 		}
 		if *csv {
-			fmt.Printf("# %s — %s\n", res.ID, res.Title)
-			for _, t := range res.Tables {
+			fmt.Printf("# %s — %s\n", o.res.ID, o.res.Title)
+			for _, t := range o.res.Tables {
 				fmt.Print(t.CSV())
 			}
 		} else {
-			fmt.Print(res)
+			fmt.Print(o.res)
 		}
-		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+		fmt.Printf("(%s in %.1fs)\n\n", o.id, o.dur.Seconds())
+		return true
 	}
+	// Stream results in registry order as their prefix completes: with
+	// -parallel 1 this prints each experiment the moment it finishes
+	// (the old sequential behaviour); at higher parallelism an
+	// experiment prints as soon as everything before it has.
+	outs := make([]outcome, len(ids))
+	done := make([]bool, len(ids))
+	var mu sync.Mutex
+	printed, failed := 0, 0
+	idxs := make([]int, len(ids))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	_, _ = sweep.Run(context.Background(), idxs, func(_ context.Context, i int) (struct{}, error) {
+		start := time.Now()
+		res, err := experiments.Run(ids[i])
+		o := outcome{id: ids[i], res: res, err: err, dur: time.Since(start)}
+		mu.Lock()
+		outs[i], done[i] = o, true
+		for printed < len(ids) && done[printed] {
+			if !emit(outs[printed]) {
+				failed++
+			}
+			printed++
+		}
+		mu.Unlock()
+		return struct{}{}, nil
+	})
 	if failed > 0 {
 		os.Exit(1)
 	}

@@ -1,14 +1,17 @@
-// Command pimphony-sim runs a single end-to-end decode simulation with
-// explicit knobs, printing throughput, utilization and energy.
+// Command pimphony-sim runs end-to-end decode simulations with explicit
+// knobs, printing throughput, utilization and energy. Comma-separated
+// -system/-model/-trace values sweep the full cross product through the
+// parallel sweep engine and print one summary row per point.
 //
 // Examples:
 //
 //	pimphony-sim -system cent -model 7b-32k -trace QMSum
 //	pimphony-sim -system neupims -model 72b-128k-gqa -trace multifieldqa -tcp=false
-//	pimphony-sim -system gpu -model 7b-32k -trace QMSum
+//	pimphony-sim -system cent,neupims -model 7b-32k,7b-128k-gqa -trace QMSum -parallel 8
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -16,6 +19,8 @@ import (
 
 	"pimphony/internal/core"
 	"pimphony/internal/model"
+	"pimphony/internal/sweep"
+	"pimphony/internal/tablefmt"
 	"pimphony/internal/workload"
 )
 
@@ -34,10 +39,18 @@ func modelByFlag(name string) (model.Config, error) {
 	}
 }
 
+// point is one (system, model, trace) grid cell.
+type point struct {
+	system string
+	cfg    core.Config
+	trace  string
+	reqs   []workload.Request
+}
+
 func main() {
-	system := flag.String("system", "cent", "system preset: cent, neupims, gpu")
-	modelName := flag.String("model", "7b-32k", "model: 7b-32k, 7b-128k-gqa, 72b-32k, 72b-128k-gqa")
-	traceName := flag.String("trace", "QMSum", "workload: QMSum, Musique, multifieldqa, Loogle-SD, or uniform:<tokens>")
+	system := flag.String("system", "cent", "system preset(s): cent, neupims, gpu (comma-separated sweeps the grid)")
+	modelName := flag.String("model", "7b-32k", "model(s): 7b-32k, 7b-128k-gqa, 72b-32k, 72b-128k-gqa (comma-separated)")
+	traceName := flag.String("trace", "QMSum", "workload(s): QMSum, Musique, multifieldqa, Loogle-SD, or uniform:<tokens> (comma-separated)")
 	tcp := flag.Bool("tcp", true, "enable token-centric partitioning")
 	dcs := flag.Bool("dcs", true, "enable dynamic command scheduling")
 	dpa := flag.Bool("dpa", true, "enable dynamic PIM access (lazy KV allocation)")
@@ -46,58 +59,109 @@ func main() {
 	window := flag.Int("window", 8, "decode steps to simulate")
 	pool := flag.Int("pool", 64, "candidate request pool size")
 	seed := flag.Int64("seed", 42, "workload RNG seed")
+	parallel := flag.Int("parallel", 0, "worker bound per sweep level, 0 = GOMAXPROCS (nested sweeps each apply their own bound; 1 reproduces fully sequential runs)")
 	flag.Parse()
 
-	m, err := modelByFlag(*modelName)
-	if err != nil {
-		log.Fatal(err)
-	}
+	sweep.SetDefault(*parallel)
 	tech := core.Technique{TCP: *tcp, DCS: *dcs, DPA: *dpa}
-	var cfg core.Config
-	switch strings.ToLower(*system) {
-	case "cent":
-		cfg = core.CENT(m, tech)
-	case "neupims":
-		cfg = core.NeuPIMs(m, tech)
-	case "gpu":
-		cfg = core.GPU(m)
-	default:
-		log.Fatalf("unknown system %q (cent, neupims, gpu)", *system)
-	}
-	if *tp > 0 && *pp > 0 {
-		cfg.TP, cfg.PP = *tp, *pp
-	}
-	cfg.DecodeWindow = *window
 
-	var gen *workload.Generator
-	if rest, ok := strings.CutPrefix(*traceName, "uniform:"); ok {
-		var tokens int
-		if _, err := fmt.Sscanf(rest, "%d", &tokens); err != nil {
-			log.Fatalf("bad uniform trace %q", *traceName)
+	// One request pool per trace, shared read-only by every (system,
+	// model) cell of the grid.
+	poolByTrace := map[string][]workload.Request{}
+	for _, tName := range strings.Split(*traceName, ",") {
+		tName = strings.TrimSpace(tName)
+		if _, ok := poolByTrace[tName]; ok {
+			continue
 		}
-		gen = workload.Uniform(tokens, *seed)
-	} else {
-		tr, err := workload.ByName(*traceName)
+		gen, err := generatorByFlag(tName, *seed)
 		if err != nil {
 			log.Fatal(err)
 		}
-		gen = workload.NewGenerator(tr, *seed)
+		poolByTrace[tName] = gen.Batch(*pool)
 	}
 
-	sys, err := core.NewSystem(cfg)
+	var pts []point
+	for _, sysName := range strings.Split(*system, ",") {
+		for _, mName := range strings.Split(*modelName, ",") {
+			m, err := modelByFlag(strings.TrimSpace(mName))
+			if err != nil {
+				log.Fatal(err)
+			}
+			var cfg core.Config
+			switch strings.ToLower(strings.TrimSpace(sysName)) {
+			case "cent":
+				cfg = core.CENT(m, tech)
+			case "neupims":
+				cfg = core.NeuPIMs(m, tech)
+			case "gpu":
+				cfg = core.GPU(m)
+			default:
+				log.Fatalf("unknown system %q (cent, neupims, gpu)", sysName)
+			}
+			if *tp > 0 && *pp > 0 {
+				cfg.TP, cfg.PP = *tp, *pp
+			}
+			cfg.DecodeWindow = *window
+			for _, tName := range strings.Split(*traceName, ",") {
+				tName = strings.TrimSpace(tName)
+				pts = append(pts, point{
+					system: strings.TrimSpace(sysName),
+					cfg:    cfg,
+					trace:  tName,
+					reqs:   poolByTrace[tName],
+				})
+			}
+		}
+	}
+
+	// The grid points are independent simulations; run them through the
+	// sweep engine (reports come back in grid order).
+	reps, err := sweep.Run(context.Background(), pts, func(ctx context.Context, p point) (*core.Report, error) {
+		sys, err := core.NewSystem(p.cfg)
+		if err != nil {
+			return nil, err
+		}
+		return sys.ServeCtx(ctx, p.reqs)
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err := sys.Serve(gen.Batch(*pool))
-	if err != nil {
-		log.Fatal(err)
-	}
 
+	if len(pts) == 1 {
+		printSingle(pts[0].cfg, reps[0], *tcp, *dcs, *dpa)
+		return
+	}
+	t := tablefmt.New(fmt.Sprintf("sweep — %d points (window %d, pool %d)", len(pts), *window, *pool),
+		"system", "model", "trace", "batch", "tok/s", "tbt-ms", "pim-util%", "cap-util%")
+	for i, p := range pts {
+		rep := reps[i]
+		t.AddRow(p.system, p.cfg.Model.Name, p.trace, rep.Batch, rep.Throughput,
+			1e3*rep.TBTSeconds, 100*rep.PIMUtil, 100*rep.CapacityUtil)
+	}
+	fmt.Print(t.String())
+}
+
+func generatorByFlag(name string, seed int64) (*workload.Generator, error) {
+	if rest, ok := strings.CutPrefix(name, "uniform:"); ok {
+		var tokens int
+		if _, err := fmt.Sscanf(rest, "%d", &tokens); err != nil {
+			return nil, fmt.Errorf("bad uniform trace %q", name)
+		}
+		return workload.Uniform(tokens, seed), nil
+	}
+	tr, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return workload.NewGenerator(tr, seed), nil
+}
+
+func printSingle(cfg core.Config, rep *core.Report, tcp, dcs, dpa bool) {
 	fmt.Printf("system           %s (%s)\n", cfg.Name, rep.Kind)
 	if cfg.Kind != 2 { // not GPU
 		fmt.Printf("parallelism      TP=%d PP=%d over %d modules\n", cfg.TP, cfg.PP, cfg.Modules)
 	}
-	fmt.Printf("techniques       TCP=%v DCS=%v DPA=%v\n", *tcp, *dcs, *dpa)
+	fmt.Printf("techniques       TCP=%v DCS=%v DPA=%v\n", tcp, dcs, dpa)
 	fmt.Printf("batch            %d requests\n", rep.Batch)
 	fmt.Printf("decode window    %d steps in %.3f s\n", rep.Steps, rep.TotalSeconds)
 	fmt.Printf("throughput       %.1f tokens/s\n", rep.Throughput)

@@ -1,0 +1,3 @@
+module pimphony
+
+go 1.24

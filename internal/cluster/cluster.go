@@ -14,6 +14,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 
 	"pimphony/internal/energy"
@@ -22,6 +23,7 @@ import (
 	"pimphony/internal/memory"
 	"pimphony/internal/model"
 	"pimphony/internal/perfmodel"
+	"pimphony/internal/sweep"
 	"pimphony/internal/timing"
 	"pimphony/internal/workload"
 	"pimphony/internal/xpu"
@@ -560,6 +562,13 @@ func (s *System) stageTime(reqs []workload.Request, tokensOf func(workload.Reque
 // Run simulates a decode window over the given candidate requests and
 // reports throughput, utilization and energy.
 func (s *System) Run(reqs []workload.Request) (*Report, error) {
+	return s.RunCtx(context.Background(), reqs)
+}
+
+// RunCtx is Run with cancellation: the decode loop aborts between
+// iterations once ctx is done, so config-grid sweeps can stop early when
+// a sibling point fails.
+func (s *System) RunCtx(ctx context.Context, reqs []workload.Request) (*Report, error) {
 	if s.cfg.Kind == GPUSystem {
 		return s.runGPU(reqs)
 	}
@@ -578,6 +587,9 @@ func (s *System) Run(reqs []workload.Request) (*Report, error) {
 	generated := 0
 	stepsRun := 0
 	for step := 0; step < s.cfg.DecodeWindow; step++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		tokensOf := func(r workload.Request) int { return r.Context + grown[r.ID] }
 		var iterSec float64
 		var stats attnStats
@@ -591,25 +603,54 @@ func (s *System) Run(reqs []workload.Request) (*Report, error) {
 			span += stats.cycles
 			channels = stats.channels
 		} else {
-			// Request-granular micro-batches through PP stages:
-			// sum of per-request stage times + (PP-1) bubbles of the max.
-			var sum, max float64
-			for _, r := range batch {
+			// Request-granular micro-batches through PP stages: sum of
+			// per-request stage times + (PP-1) bubbles of the max. The
+			// per-request evaluations are independent (the perfmodel cache
+			// is internally locked), so they fan out through the sweep
+			// engine; the ordered reduction below accumulates floats in
+			// request order, keeping the result identical to the
+			// sequential loop.
+			type stageOut struct {
+				sec   float64
+				stats attnStats
+				share float64
+			}
+			evalOne := func(r workload.Request) (stageOut, error) {
 				st, stats1, share1, err := s.stageTime([]workload.Request{r}, tokensOf)
-				if err != nil {
+				return stageOut{st, stats1, share1}, err
+			}
+			var outs []stageOut
+			// Tiny batches are mostly memoized perfmodel hits; spinning a
+			// worker pool per decode step costs more than it saves there
+			// (and this loop already nests under the experiment grid and
+			// stage-ladder sweeps).
+			if len(batch) < 4 {
+				outs = make([]stageOut, len(batch))
+				for i, r := range batch {
+					if outs[i], err = evalOne(r); err != nil {
+						return nil, err
+					}
+				}
+			} else {
+				if outs, err = sweep.Run(ctx, batch, func(_ context.Context, r workload.Request) (stageOut, error) {
+					return evalOne(r)
+				}); err != nil {
 					return nil, err
 				}
-				sum += st
-				if st > max {
-					max = st
+			}
+			var sum, max float64
+			for _, o := range outs {
+				sum += o.sec
+				if o.sec > max {
+					max = o.sec
 				}
-				busy += stats1.busy
-				span += stats1.cycles
-				channels = stats1.channels
-				share += share1
-				stats.macs += stats1.macs
-				stats.ioBytes += stats1.ioBytes
-				stats.actPre += stats1.actPre
+				busy += o.stats.busy
+				span += o.stats.cycles
+				channels = o.stats.channels
+				share += o.share
+				stats.macs += o.stats.macs
+				stats.ioBytes += o.stats.ioBytes
+				stats.actPre += o.stats.actPre
 			}
 			share /= float64(len(batch))
 			iterSec = sum + float64(s.cfg.PP-1)*max
@@ -671,6 +712,20 @@ func (s *System) Run(reqs []workload.Request) (*Report, error) {
 		rep.PIMUtil = float64(busy) / (float64(span) * float64(channels))
 	}
 	return rep, nil
+}
+
+// Sweep builds one System per configuration and runs each against the
+// shared (read-only) candidate pool, fanning the independent simulations
+// through the sweep engine. Reports come back in input order; the first
+// failing configuration cancels the rest.
+func Sweep(ctx context.Context, cfgs []Config, reqs []workload.Request, opts ...sweep.Option) ([]*Report, error) {
+	return sweep.Run(ctx, cfgs, func(ctx context.Context, cfg Config) (*Report, error) {
+		sys, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return sys.RunCtx(ctx, reqs)
+	}, opts...)
 }
 
 // fcEnergy coarsely prices the FC phase of one iteration: DRAM reads of all

@@ -16,12 +16,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"pimphony/internal/cluster"
 	"pimphony/internal/compiler"
 	"pimphony/internal/dispatch"
 	"pimphony/internal/model"
+	"pimphony/internal/sweep"
 	"pimphony/internal/timing"
 	"pimphony/internal/workload"
 )
@@ -195,6 +197,13 @@ func (s *System) InstructionFootprint() (int64, error) {
 // them with the module dispatchers first (DPA systems track per-request
 // token state on-module).
 func (s *System) Serve(reqs []workload.Request) (*Report, error) {
+	return s.ServeCtx(context.Background(), reqs)
+}
+
+// ServeCtx is Serve with cancellation: the decode loop aborts between
+// iterations once ctx is done, so grid sweeps can stop in-flight
+// simulations when a sibling point fails.
+func (s *System) ServeCtx(ctx context.Context, reqs []workload.Request) (*Report, error) {
 	if s.cfg.Kind != cluster.GPUSystem && s.cfg.Tech.DPA && len(s.dispatchers) > 0 {
 		prog := s.compiled.DPAttn[0].Name
 		d := s.dispatchers[0]
@@ -208,7 +217,25 @@ func (s *System) Serve(reqs []workload.Request) (*Report, error) {
 			}
 		}
 	}
-	return s.sim.Run(reqs)
+	return s.sim.RunCtx(ctx, reqs)
+}
+
+// Sweep builds one full System (compile + dispatcher load) per
+// configuration and serves each against the shared candidate pool,
+// fanning the independent simulations through the sweep engine. Reports
+// come back in input order; the first failing configuration cancels the
+// rest (in-flight decode loops abort between iterations). It is the
+// facade-level counterpart of cluster.Sweep for grids that share one
+// request pool; grids with per-point pools (e.g. cmd/pimphony-sim's
+// trace cross-product) call sweep.Run with ServeCtx directly.
+func Sweep(ctx context.Context, cfgs []Config, reqs []workload.Request, opts ...sweep.Option) ([]*Report, error) {
+	return sweep.Run(ctx, cfgs, func(ctx context.Context, cfg Config) (*Report, error) {
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return sys.ServeCtx(ctx, reqs)
+	}, opts...)
 }
 
 // StageResult is one bar of the incremental technique study.
@@ -231,19 +258,26 @@ func Stages() []StageResult {
 // IncrementalStudy runs the technique ladder on copies of a configuration,
 // returning one report per stage.
 func IncrementalStudy(cfg Config, reqs []workload.Request) ([]StageResult, error) {
-	stages := Stages()
-	for i := range stages {
+	return IncrementalStudyCtx(context.Background(), cfg, reqs)
+}
+
+// IncrementalStudyCtx is IncrementalStudy with cancellation: the four
+// stages are independent simulations (each builds its own System over
+// the shared read-only request pool), so they fan out through the sweep
+// engine and come back in ladder order.
+func IncrementalStudyCtx(ctx context.Context, cfg Config, reqs []workload.Request) ([]StageResult, error) {
+	return sweep.Run(ctx, Stages(), func(ctx context.Context, st StageResult) (StageResult, error) {
 		c := cfg
-		c.Tech = stages[i].Tech
+		c.Tech = st.Tech
 		sys, err := NewSystem(c)
 		if err != nil {
-			return nil, fmt.Errorf("core: stage %s: %w", stages[i].Stage, err)
+			return st, fmt.Errorf("core: stage %s: %w", st.Stage, err)
 		}
-		rep, err := sys.Serve(reqs)
+		rep, err := sys.ServeCtx(ctx, reqs)
 		if err != nil {
-			return nil, fmt.Errorf("core: stage %s: %w", stages[i].Stage, err)
+			return st, fmt.Errorf("core: stage %s: %w", st.Stage, err)
 		}
-		stages[i].Report = rep
-	}
-	return stages, nil
+		st.Report = rep
+		return st, nil
+	})
 }

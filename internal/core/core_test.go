@@ -1,12 +1,45 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"pimphony/internal/cluster"
 	"pimphony/internal/model"
 	"pimphony/internal/workload"
 )
+
+// TestSweepMatchesSequentialServe runs a technique grid through Sweep
+// and pins the reports to what per-config NewSystem+Serve produces, in
+// input order; a broken config must surface its own error.
+func TestSweepMatchesSequentialServe(t *testing.T) {
+	m := model.LLM7B32K()
+	reqs := workload.NewGenerator(workload.QMSum(), 11).Batch(16)
+	cfgs := []Config{CENT(m, Baseline()), CENT(m, PIMphony()), NeuPIMs(m, PIMphony())}
+	got, err := Sweep(context.Background(), cfgs, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range cfgs {
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sys.Serve(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i].Throughput != want.Throughput || got[i].Batch != want.Batch {
+			t.Errorf("config %d (%s): swept (%.3f tok/s, batch %d) != sequential (%.3f, %d)",
+				i, cfg.Name, got[i].Throughput, got[i].Batch, want.Throughput, want.Batch)
+		}
+	}
+	bad := CENT(m, Baseline())
+	bad.TP, bad.PP = 3, 1 // 3*1 != 8 modules
+	if _, err := Sweep(context.Background(), []Config{cfgs[0], bad}, reqs); err == nil {
+		t.Error("invalid config in the grid should fail the sweep")
+	}
+}
 
 func TestPresetsValidate(t *testing.T) {
 	for _, m := range model.All() {

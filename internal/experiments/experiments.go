@@ -9,9 +9,47 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
+	"pimphony/internal/model"
 	"pimphony/internal/tablefmt"
 )
+
+// shortMode selects the scaled-down experiment grids. The full grids
+// reproduce every row of the paper's tables; the short grids keep the
+// same row *shapes* on smaller request pools and fewer sweep points so
+// the -short CI lane finishes in seconds. Tests enable it from
+// testing.Short().
+var shortMode atomic.Bool
+
+// SetShort toggles the scaled-down grids and returns the previous
+// setting so callers can restore it.
+func SetShort(v bool) bool { return shortMode.Swap(v) }
+
+// Short reports whether the scaled-down grids are active.
+func Short() bool { return shortMode.Load() }
+
+// pool scales a candidate-request-pool size for the active grid.
+func pool(full int) int {
+	if !Short() {
+		return full
+	}
+	n := full / 8
+	if n < 8 {
+		n = 8
+	}
+	return n
+}
+
+// sweepModels is the model grid for the system studies: all four Table I
+// models in full mode, the two 7B-class models in short mode (the
+// 72B-class systems are the expensive 32-module simulations).
+func sweepModels() []model.Config {
+	if Short() {
+		return []model.Config{model.LLM7B32K(), model.LLM7B128KGQA()}
+	}
+	return model.All()
+}
 
 // Result is one experiment's outcome.
 type Result struct {

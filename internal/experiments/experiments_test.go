@@ -1,22 +1,61 @@
 package experiments
 
 import (
+	"fmt"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
+
+	"pimphony/internal/sweep"
 )
+
+// useGrids applies the -short grid selection for one test.
+func useGrids(t *testing.T) {
+	prev := SetShort(testing.Short())
+	t.Cleanup(func() { SetShort(prev) })
+}
+
+// resultCache memoizes experiment results per (id, grid mode) so the
+// band-pinning tests reuse what TestAllExperimentsRun already computed
+// instead of regenerating multi-second system studies.
+var (
+	resultMu    sync.Mutex
+	resultCache = map[string]*Result{}
+)
+
+func runCached(t *testing.T, id string) *Result {
+	t.Helper()
+	key := fmt.Sprintf("%s/short=%v", id, Short())
+	resultMu.Lock()
+	res, ok := resultCache[key]
+	resultMu.Unlock()
+	if ok {
+		return res
+	}
+	res, err := Run(id)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	resultMu.Lock()
+	resultCache[key] = res
+	resultMu.Unlock()
+	return res
+}
 
 // TestAllExperimentsRun executes every registered experiment end to end
 // and sanity-checks that tables are populated. This is the integration
-// test tying the whole stack together.
+// test tying the whole stack together; the experiments are independent,
+// so the subtests run in parallel on top of each driver's own sweep
+// parallelism.
 func TestAllExperimentsRun(t *testing.T) {
+	useGrids(t)
 	for _, id := range IDs() {
 		id := id
 		t.Run(id, func(t *testing.T) {
-			res, err := Run(id)
-			if err != nil {
-				t.Fatalf("%s: %v", id, err)
-			}
+			t.Parallel()
+			res := runCached(t, id)
 			if res.ID != id {
 				t.Errorf("result ID %q != %q", res.ID, id)
 			}
@@ -44,18 +83,109 @@ func TestAllExperimentsRun(t *testing.T) {
 }
 
 func TestUnknownID(t *testing.T) {
-	if _, err := Run("nope"); err == nil {
+	_, err := Run("nope")
+	if err == nil {
 		t.Fatal("unknown experiment should error")
+	}
+	if !strings.Contains(err.Error(), `"nope"`) {
+		t.Errorf("error should name the unknown id: %v", err)
+	}
+}
+
+// TestIDsSortedAndStable pins the registry enumeration: sorted order,
+// no duplicates, and identical across calls (cmd/pimphony-bench's 'all'
+// mode and the benchmark harness both rely on it).
+func TestIDsSortedAndStable(t *testing.T) {
+	ids := IDs()
+	if len(ids) == 0 {
+		t.Fatal("registry is empty")
+	}
+	if !sort.StringsAreSorted(ids) {
+		t.Errorf("IDs not sorted: %v", ids)
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Errorf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+	again := IDs()
+	if len(again) != len(ids) {
+		t.Fatalf("IDs changed between calls: %d vs %d", len(again), len(ids))
+	}
+	for i := range ids {
+		if again[i] != ids[i] {
+			t.Errorf("IDs()[%d] unstable: %q vs %q", i, again[i], ids[i])
+		}
+	}
+	for _, id := range ids {
+		if _, ok := registry[id]; !ok {
+			t.Errorf("id %q not resolvable via registry", id)
+		}
+	}
+}
+
+// TestParallelMatchesSequential is the determinism contract of the sweep
+// refactor: for a representative slice of drivers (system-study ladder,
+// (TP,PP) grid, microbenchmark, capacity study), the rendered output
+// under parallelism=8 must be byte-identical to a parallelism=1 run.
+// The scaled-down grids keep it cheap; grid size is orthogonal to the
+// ordering guarantees under test.
+func TestParallelMatchesSequential(t *testing.T) {
+	prevShort := SetShort(true)
+	t.Cleanup(func() { SetShort(prevShort) })
+	for _, id := range []string{"fig8", "fig13", "fig15", "fig19"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			prev := sweep.SetDefault(1)
+			seqRes, seqErr := Run(id)
+			sweep.SetDefault(8)
+			parRes, parErr := Run(id)
+			sweep.SetDefault(prev)
+			if seqErr != nil || parErr != nil {
+				t.Fatalf("seq err %v, par err %v", seqErr, parErr)
+			}
+			seq, par := seqRes.String(), parRes.String()
+			if seq != par {
+				t.Errorf("parallel output diverges from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+			}
+		})
+	}
+}
+
+// TestShortGridsShrink guards the -short CI lane: the scaled-down grids
+// must actually be smaller than the full ones, while keeping every
+// column.
+func TestShortGridsShrink(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs both grid settings; the full lane covers it")
+	}
+	prev := SetShort(false)
+	fullRes := runCached(t, "fig15")
+	SetShort(true)
+	shortRes, err := Run("fig15")
+	SetShort(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range shortRes.Tables {
+		s, f := shortRes.Tables[i], fullRes.Tables[i]
+		if len(s.Rows) == 0 || len(s.Rows) >= len(f.Rows) {
+			t.Errorf("table %q: short grid has %d rows vs full %d; want a non-empty strict subset",
+				s.Title, len(s.Rows), len(f.Rows))
+		}
+		if len(s.Headers) != len(f.Headers) {
+			t.Errorf("table %q: short grid changed the columns", s.Title)
+		}
 	}
 }
 
 // TestFig7PinsPaperNumbers extracts the Fig. 7 cycle counts and pins them
 // to the paper's 34 (static) and 22 (DCS).
 func TestFig7PinsPaperNumbers(t *testing.T) {
-	res, err := Run("fig7")
-	if err != nil {
-		t.Fatal(err)
-	}
+	useGrids(t)
+	res := runCached(t, "fig7")
 	got := map[string]string{}
 	for _, row := range res.Tables[0].Rows {
 		got[row[0]] = row[1]
@@ -74,10 +204,7 @@ func TestFig13SpeedupBands(t *testing.T) {
 	if testing.Short() {
 		t.Skip("system study")
 	}
-	res, err := Run("fig13")
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := runCached(t, "fig13")
 	for _, row := range res.Tables[0].Rows {
 		sp, err := strconv.ParseFloat(row[len(row)-1], 64)
 		if err != nil {
@@ -99,10 +226,8 @@ func TestFig13SpeedupBands(t *testing.T) {
 // TestFig19Bands checks the capacity-utilization split matches the
 // paper's direction and rough magnitudes.
 func TestFig19Bands(t *testing.T) {
-	res, err := Run("fig19")
-	if err != nil {
-		t.Fatal(err)
-	}
+	useGrids(t)
+	res := runCached(t, "fig19")
 	for _, row := range res.Tables[0].Rows {
 		st, _ := strconv.ParseFloat(row[2], 64)
 		dpa, _ := strconv.ParseFloat(row[3], 64)
@@ -120,10 +245,8 @@ func TestFig19Bands(t *testing.T) {
 
 // TestFig18Bands checks DCS beats ping-pong on every attention setting.
 func TestFig18Bands(t *testing.T) {
-	res, err := Run("fig18")
-	if err != nil {
-		t.Fatal(err)
-	}
+	useGrids(t)
+	res := runCached(t, "fig18")
 	for _, row := range res.Tables[0].Rows {
 		gain, err := strconv.ParseFloat(row[3], 64)
 		if err != nil {

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"pimphony/internal/compiler"
 	"pimphony/internal/memory"
 	"pimphony/internal/model"
+	"pimphony/internal/sweep"
 	"pimphony/internal/tablefmt"
 	"pimphony/internal/timing"
 	"pimphony/internal/workload"
@@ -27,15 +29,21 @@ func Table1Models() (*Result, error) {
 }
 
 // Table2Workloads checks the synthetic trace generators against the
-// Table II statistics.
+// Table II statistics. Sampling the traces is independent work, so the
+// per-trace points fan out through the sweep engine.
 func Table2Workloads() (*Result, error) {
 	t := tablefmt.New("Table II — context-length statistics (paper vs sampled, n=4000)",
 		"trace", "suite", "mean(paper)", "mean(sim)", "std(paper)", "std(sim)", "min", "max")
-	for _, tr := range workload.All() {
-		g := workload.NewGenerator(tr, 42)
-		st := workload.Summarize(g.Batch(4000))
-		t.AddRow(tr.Name, tr.Suite, tr.Mean, st.Mean, tr.Std, st.Std, st.Min, st.Max)
+	rows, err := sweep.Rows(context.Background(), workload.All(),
+		func(_ context.Context, tr workload.Trace) ([]any, error) {
+			g := workload.NewGenerator(tr, 42)
+			st := workload.Summarize(g.Batch(4000))
+			return []any{tr.Name, tr.Suite, tr.Mean, st.Mean, tr.Std, st.Std, st.Min, st.Max}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
+	addRows(t, rows)
 	return &Result{ID: "tab2", Title: "Workload statistics", Tables: []*tablefmt.Table{t}}, nil
 }
 
@@ -82,13 +90,18 @@ func Fig10InstrFootprint() (*Result, error) {
 	t := tablefmt.New("Fig. 10c — per-layer attention instruction footprint (bytes)",
 		"context", "static-unrolled", "dpa", "ratio")
 	dpa := c.DPAFootprint()
-	for _, ctx := range []int{32 << 10, 128 << 10, 512 << 10, 1 << 20} {
-		st, err := c.StaticFootprint(ctx)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(ctx, st, dpa, float64(st)/float64(dpa))
+	rows, err := sweep.Rows(context.Background(), []int{32 << 10, 128 << 10, 512 << 10, 1 << 20},
+		func(_ context.Context, ctx int) ([]any, error) {
+			st, err := c.StaticFootprint(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return []any{ctx, st, dpa, float64(st) / float64(dpa)}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
+	addRows(t, rows)
 	return &Result{ID: "fig10", Title: "DPA instruction-footprint scalability", Tables: []*tablefmt.Table{t},
 		Notes: []string{"paper: static instruction streams bloat the command buffer at long context; DPA is ~constant"}}, nil
 }
@@ -98,44 +111,50 @@ func Fig10InstrFootprint() (*Result, error) {
 func Fig19Capacity() (*Result, error) {
 	t := tablefmt.New("Fig. 19 — KV capacity utilization at admission saturation (128 GiB pool)",
 		"trace", "model", "static-util%", "dpa-util%", "static-batch", "dpa-batch")
-	cases := []struct {
+	type capCase struct {
 		tr workload.Trace
 		m  model.Config
-	}{
+	}
+	cases := []capCase{
 		{workload.QMSum(), model.LLM7B32K()},
 		{workload.Musique(), model.LLM7B32K()},
 		{workload.MultiFieldQA(), model.LLM7B128KGQA()},
 		{workload.LoogleSD(), model.LLM7B128KGQA()},
 	}
-	for _, c := range cases {
-		pool := int64(128<<30) - c.m.WeightBytes()
-		bpt := c.m.KVBytesPerToken()
-		st, err := memory.NewStatic(pool, bpt, c.m.ContextWindow)
-		if err != nil {
-			return nil, err
-		}
-		dpa, err := memory.NewDPA(pool, bpt, memory.DefaultChunkBytes)
-		if err != nil {
-			return nil, err
-		}
-		reqs := workload.NewGenerator(c.tr, 21).Batch(512)
-		fill := func(a memory.Allocator) int {
-			n := 0
-			for _, r := range reqs {
-				if !a.CanAdmit(r.Context) {
-					break
-				}
-				if a.Admit(r.ID, r.Context) != nil {
-					break
-				}
-				n++
+	rows, err := sweep.Rows(context.Background(), cases,
+		func(_ context.Context, c capCase) ([]any, error) {
+			pool := int64(128<<30) - c.m.WeightBytes()
+			bpt := c.m.KVBytesPerToken()
+			st, err := memory.NewStatic(pool, bpt, c.m.ContextWindow)
+			if err != nil {
+				return nil, err
 			}
-			return n
-		}
-		sb := fill(st)
-		db := fill(dpa)
-		t.AddRow(c.tr.Name, c.m.Name, 100*memory.PoolUtilization(st), 100*memory.PoolUtilization(dpa), sb, db)
+			dpa, err := memory.NewDPA(pool, bpt, memory.DefaultChunkBytes)
+			if err != nil {
+				return nil, err
+			}
+			reqs := workload.NewGenerator(c.tr, 21).Batch(512)
+			fill := func(a memory.Allocator) int {
+				n := 0
+				for _, r := range reqs {
+					if !a.CanAdmit(r.Context) {
+						break
+					}
+					if a.Admit(r.ID, r.Context) != nil {
+						break
+					}
+					n++
+				}
+				return n
+			}
+			sb := fill(st)
+			db := fill(dpa)
+			return []any{c.tr.Name, c.m.Name, 100 * memory.PoolUtilization(st), 100 * memory.PoolUtilization(dpa), sb, db}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
+	addRows(t, rows)
 	return &Result{ID: "fig19", Title: "Capacity utilization with and without DPA", Tables: []*tablefmt.Table{t},
 		Notes: []string{"paper: static 31.0-40.5%; DPA average 75.6%"}}, nil
 }
@@ -144,32 +163,37 @@ func Fig19Capacity() (*Result, error) {
 func AblationChunkSize() (*Result, error) {
 	m := model.LLM7B128KGQA()
 	tr := workload.MultiFieldQA()
-	pool := int64(128<<30) - m.WeightBytes()
+	poolBytes := int64(128<<30) - m.WeightBytes()
 	t := tablefmt.New("Ablation — DPA chunk size (multifieldqa, 128 GiB pool)",
 		"chunk", "pool-util%", "batch", "va2pa-entries/request")
-	for _, chunk := range []int64{256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20} {
-		a, err := memory.NewDPA(pool, m.KVBytesPerToken(), chunk)
-		if err != nil {
-			return nil, err
-		}
-		reqs := workload.NewGenerator(tr, 5).Batch(512)
-		n := 0
-		var entries int
-		for _, r := range reqs {
-			if !a.CanAdmit(r.Context) {
-				break
+	rows, err := sweep.Rows(context.Background(), []int64{256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20},
+		func(_ context.Context, chunk int64) ([]any, error) {
+			a, err := memory.NewDPA(poolBytes, m.KVBytesPerToken(), chunk)
+			if err != nil {
+				return nil, err
 			}
-			if a.Admit(r.ID, r.Context) != nil {
-				break
+			reqs := workload.NewGenerator(tr, 5).Batch(512)
+			n := 0
+			var entries int
+			for _, r := range reqs {
+				if !a.CanAdmit(r.Context) {
+					break
+				}
+				if a.Admit(r.ID, r.Context) != nil {
+					break
+				}
+				entries += len(a.Chunks(r.ID))
+				n++
 			}
-			entries += len(a.Chunks(r.ID))
-			n++
-		}
-		if n == 0 {
-			return nil, fmt.Errorf("chunk %d admitted nothing", chunk)
-		}
-		t.AddRow(byteSize(chunk), 100*memory.PoolUtilization(a), n, entries/n)
+			if n == 0 {
+				return nil, fmt.Errorf("chunk %d admitted nothing", chunk)
+			}
+			return []any{byteSize(chunk), 100 * memory.PoolUtilization(a), n, entries / n}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
+	addRows(t, rows)
 	return &Result{ID: "abl-chunk", Title: "DPA chunk-size ablation", Tables: []*tablefmt.Table{t},
 		Notes: []string{"the paper's 1 MB chunk balances fragmentation against VA2PA table pressure"}}, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"pimphony/internal/kernels"
@@ -8,9 +9,25 @@ import (
 	"pimphony/internal/perfmodel"
 	"pimphony/internal/pim"
 	"pimphony/internal/sched"
+	"pimphony/internal/sweep"
 	"pimphony/internal/tablefmt"
 	"pimphony/internal/timing"
 )
+
+// addRows appends swept rows to a table in sweep (input) order.
+func addRows(t *tablefmt.Table, rows [][]any) {
+	for _, r := range rows {
+		t.AddRow(r...)
+	}
+}
+
+// addRowGroups appends swept row groups (several consecutive rows per
+// point) in sweep order.
+func addRowGroups(t *tablefmt.Table, groups [][][]any) {
+	for _, rows := range groups {
+		addRows(t, rows)
+	}
+}
 
 // Fig7DCSExample reproduces the paper's Fig. 7 worked scheduling example:
 // the (1x48)*(48x32) GEMV command stack under the static controller
@@ -35,13 +52,21 @@ func Fig7DCSExample() (*Result, error) {
 	}
 	t := tablefmt.New("Fig. 7 — DCS worked example (paper: static 34, DCS 22 cycles)",
 		"scheduler", "cycles", "mac-util-%")
-	for _, sc := range []sched.Scheduler{&sched.Static{Dev: dev}, &sched.DCS{Dev: dev}} {
+	rows, err := sweep.Rows(context.Background(), []func() sched.Scheduler{
+		func() sched.Scheduler { return &sched.Static{Dev: dev} },
+		func() sched.Scheduler { return &sched.DCS{Dev: dev} },
+	}, func(_ context.Context, mk func() sched.Scheduler) ([]any, error) {
+		sc := mk()
 		res, err := sc.Schedule(build())
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(sc.Name(), int64(res.Total), 100*res.MACUtilization())
+		return []any{sc.Name(), int64(res.Total), 100 * res.MACUtilization()}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	addRows(t, rows)
 	return &Result{ID: "fig7", Title: "Dynamic PIM command scheduling worked example", Tables: []*tablefmt.Table{t}}, nil
 }
 
@@ -54,21 +79,26 @@ func Fig8Breakdown() (*Result, error) {
 	svc := perfmodel.New(dev)
 	t := tablefmt.New("Fig. 8 — static latency breakdown vs matrix dimension (one channel GEMV)",
 		"d", "total-cyc", "mac%", "act/pre%", "ref%", "dt-gbuf%", "dt-outreg%", "penalty%", "dcs-mac%")
-	for _, d := range []int{128, 256, 512, 1024, 2048, 4096} {
-		lat, err := svc.Price(perfmodel.Query{Kernel: perfmodel.GEMV, Tokens: d, Dh: d, Baseline: true, Sched: perfmodel.Static})
-		if err != nil {
-			return nil, err
-		}
-		dcs, err := svc.Price(perfmodel.Query{Kernel: perfmodel.GEMV, Tokens: d, Dh: d, Sched: perfmodel.DCS})
-		if err != nil {
-			return nil, err
-		}
-		tot := float64(lat.Cycles)
-		pct := func(c timing.Cycles) float64 { return 100 * float64(c) / tot }
-		b := lat.Breakdown
-		t.AddRow(d, int64(lat.Cycles), pct(b.MAC), pct(b.ActPre), pct(b.Refresh),
-			pct(b.DTGBuf), pct(b.DTOutReg), pct(b.Penalty), 100*dcs.MACUtil)
+	rows, err := sweep.Rows(context.Background(), []int{128, 256, 512, 1024, 2048, 4096},
+		func(_ context.Context, d int) ([]any, error) {
+			lat, err := svc.Price(perfmodel.Query{Kernel: perfmodel.GEMV, Tokens: d, Dh: d, Baseline: true, Sched: perfmodel.Static})
+			if err != nil {
+				return nil, err
+			}
+			dcs, err := svc.Price(perfmodel.Query{Kernel: perfmodel.GEMV, Tokens: d, Dh: d, Sched: perfmodel.DCS})
+			if err != nil {
+				return nil, err
+			}
+			tot := float64(lat.Cycles)
+			pct := func(c timing.Cycles) float64 { return 100 * float64(c) / tot }
+			b := lat.Breakdown
+			return []any{d, int64(lat.Cycles), pct(b.MAC), pct(b.ActPre), pct(b.Refresh),
+				pct(b.DTGBuf), pct(b.DTOutReg), pct(b.Penalty), 100 * dcs.MACUtil}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
+	addRows(t, rows)
 	return &Result{
 		ID:     "fig8",
 		Title:  "Latency breakdown across matrix dimensions",
@@ -85,24 +115,39 @@ func Fig9AttnBreakdown() (*Result, error) {
 	const tokensPerChannel = 2048 // a 64K-context head sliced over 32 channels
 	t := tablefmt.New("Fig. 9 — LLM-72B attention breakdown, row-reuse mapping (g=8)",
 		"kernel", "sched", "total-cyc", "mac%", "act/pre%", "dt-gbuf%", "dt-outreg%", "penalty%")
+	type point struct {
+		k        perfmodel.Kernel
+		name     string
+		s        perfmodel.Sched
+		baseline bool
+	}
+	var pts []point
 	for _, k := range []perfmodel.Kernel{perfmodel.QKT, perfmodel.SV} {
 		for _, sc := range []struct {
 			name     string
 			s        perfmodel.Sched
 			baseline bool
 		}{{"static", perfmodel.Static, true}, {"dcs", perfmodel.DCS, false}} {
-			lat, err := svc.Price(perfmodel.Query{Kernel: k, Tokens: tokensPerChannel, Dh: 128,
-				Queries: 8, RowReuse: true, Baseline: sc.baseline, Sched: sc.s})
+			pts = append(pts, point{k, sc.name, sc.s, sc.baseline})
+		}
+	}
+	rows, err := sweep.Rows(context.Background(), pts,
+		func(_ context.Context, p point) ([]any, error) {
+			lat, err := svc.Price(perfmodel.Query{Kernel: p.k, Tokens: tokensPerChannel, Dh: 128,
+				Queries: 8, RowReuse: true, Baseline: p.baseline, Sched: p.s})
 			if err != nil {
 				return nil, err
 			}
 			tot := float64(lat.Cycles)
 			pct := func(c timing.Cycles) float64 { return 100 * float64(c) / tot }
 			b := lat.Breakdown
-			t.AddRow(k.String(), sc.name, int64(lat.Cycles), pct(b.MAC), pct(b.ActPre),
-				pct(b.DTGBuf), pct(b.DTOutReg), pct(b.Penalty))
-		}
+			return []any{p.k.String(), p.name, int64(lat.Cycles), pct(b.MAC), pct(b.ActPre),
+				pct(b.DTGBuf), pct(b.DTOutReg), pct(b.Penalty)}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
+	addRows(t, rows)
 	return &Result{ID: "fig9", Title: "Attention command-execution breakdown ±DCS", Tables: []*tablefmt.Table{t},
 		Notes: []string{"paper: DCS hides the extra WR-INP traffic row-reuse creates, unlocking its ACT/PRE savings"}}, nil
 }
@@ -116,21 +161,26 @@ func Fig18PingPong() (*Result, error) {
 	const tokensPerChannel = 2048
 	t := tablefmt.New("Fig. 18 — compute utilization: ping-pong vs DCS (row-reuse)",
 		"config", "pingpong-util%", "dcs-util%", "dcs-gain")
-	for _, g := range []int{1, 2, 4, 8} {
-		name := "MHA"
-		if g > 1 {
-			name = fmt.Sprintf("GQA g=%d", g)
-		}
-		var utils [2]float64
-		for i, sc := range []perfmodel.Sched{perfmodel.PingPong, perfmodel.DCS} {
-			att, err := svc.AttentionLatency(tokensPerChannel, 128, g, g > 1, false, sc)
-			if err != nil {
-				return nil, err
+	rows, err := sweep.Rows(context.Background(), []int{1, 2, 4, 8},
+		func(_ context.Context, g int) ([]any, error) {
+			name := "MHA"
+			if g > 1 {
+				name = fmt.Sprintf("GQA g=%d", g)
 			}
-			utils[i] = att.MACUtil
-		}
-		t.AddRow(name, 100*utils[0], 100*utils[1], utils[1]/utils[0])
+			var utils [2]float64
+			for i, sc := range []perfmodel.Sched{perfmodel.PingPong, perfmodel.DCS} {
+				att, err := svc.AttentionLatency(tokensPerChannel, 128, g, g > 1, false, sc)
+				if err != nil {
+					return nil, err
+				}
+				utils[i] = att.MACUtil
+			}
+			return []any{name, 100 * utils[0], 100 * utils[1], utils[1] / utils[0]}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
+	addRows(t, rows)
 	return &Result{ID: "fig18", Title: "DCS vs ping-pong buffering", Tables: []*tablefmt.Table{t},
 		Notes: []string{"paper: DCS achieves up to 1.4x higher compute-unit utilization"}}, nil
 }
@@ -142,22 +192,35 @@ func Fig6Partitioning() (*Result, error) {
 	reqs := []mapping.Request{{ID: 0, Tokens: 16 << 10}, {ID: 1, Tokens: 8 << 10}}
 	t := tablefmt.New("Fig. 6 — channel activity: HFP vs TCP (4 channels, 2 requests x 2 heads)",
 		"mode", "strategy", "active-channels%", "balance-util%")
-	// TP-style: both requests resident, all heads concurrently.
-	for _, s := range []mapping.Strategy{mapping.HFP{}, mapping.TCP{}} {
-		a, err := s.Assign(reqs, 2, 1, 4)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow("TP", s.Name(), 100*float64(a.ActiveChannels())/4, 100*a.Utilization())
+	type point struct {
+		mode string
+		s    mapping.Strategy
 	}
-	// PP-style: one request per pipeline stage.
-	for _, s := range []mapping.Strategy{mapping.HFP{}, mapping.TCP{}} {
-		g, err := mapping.PipelineActivity(s, reqs, 2, 1, 4, 4, func(step int) []int { return []int{step % 2} })
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow("PP", s.Name(), 100*g.ActiveFraction(), "-")
+	pts := []point{
+		{"TP", mapping.HFP{}}, {"TP", mapping.TCP{}},
+		{"PP", mapping.HFP{}}, {"PP", mapping.TCP{}},
 	}
+	rows, err := sweep.Rows(context.Background(), pts,
+		func(_ context.Context, p point) ([]any, error) {
+			if p.mode == "TP" {
+				// TP-style: both requests resident, all heads concurrently.
+				a, err := p.s.Assign(reqs, 2, 1, 4)
+				if err != nil {
+					return nil, err
+				}
+				return []any{"TP", p.s.Name(), 100 * float64(a.ActiveChannels()) / 4, 100 * a.Utilization()}, nil
+			}
+			// PP-style: one request per pipeline stage.
+			g, err := mapping.PipelineActivity(p.s, reqs, 2, 1, 4, 4, func(step int) []int { return []int{step % 2} })
+			if err != nil {
+				return nil, err
+			}
+			return []any{"PP", p.s.Name(), 100 * g.ActiveFraction(), "-"}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	addRows(t, rows)
 	return &Result{ID: "fig6", Title: "KV-cache partitioning strategies", Tables: []*tablefmt.Table{t}}, nil
 }
 
@@ -167,20 +230,33 @@ func AblationIsMAC() (*Result, error) {
 	svc := perfmodel.New(dev)
 	t := tablefmt.New("Ablation — DCS is-MAC accumulate bypass",
 		"kernel", "tokens/ch", "dcs-cyc", "no-ismac-cyc", "bypass-gain")
+	type point struct {
+		k      perfmodel.Kernel
+		tokens int
+	}
+	var pts []point
 	for _, k := range []perfmodel.Kernel{perfmodel.QKT, perfmodel.SV} {
 		for _, tokens := range []int{1024, 4096} {
-			with, err := svc.Price(perfmodel.Query{Kernel: k, Tokens: tokens, Dh: 128, Queries: 1, Sched: perfmodel.DCS})
-			if err != nil {
-				return nil, err
-			}
-			without, err := svc.Price(perfmodel.Query{Kernel: k, Tokens: tokens, Dh: 128, Queries: 1, Sched: perfmodel.DCSNoIsMAC})
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(k.String(), tokens, int64(with.Cycles), int64(without.Cycles),
-				float64(without.Cycles)/float64(with.Cycles))
+			pts = append(pts, point{k, tokens})
 		}
 	}
+	rows, err := sweep.Rows(context.Background(), pts,
+		func(_ context.Context, p point) ([]any, error) {
+			with, err := svc.Price(perfmodel.Query{Kernel: p.k, Tokens: p.tokens, Dh: 128, Queries: 1, Sched: perfmodel.DCS})
+			if err != nil {
+				return nil, err
+			}
+			without, err := svc.Price(perfmodel.Query{Kernel: p.k, Tokens: p.tokens, Dh: 128, Queries: 1, Sched: perfmodel.DCSNoIsMAC})
+			if err != nil {
+				return nil, err
+			}
+			return []any{p.k.String(), p.tokens, int64(with.Cycles), int64(without.Cycles),
+				float64(without.Cycles) / float64(with.Cycles)}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	addRows(t, rows)
 	return &Result{ID: "abl-ismac", Title: "is-MAC bypass ablation", Tables: []*tablefmt.Table{t}}, nil
 }
 
@@ -190,19 +266,24 @@ func AblationOBufDepth() (*Result, error) {
 	dev := timing.AiM16()
 	t := tablefmt.New("Ablation — OBuf depth (SV kernel, 4096 tokens/channel, DCS)",
 		"obuf-entries", "cycles", "wr-inp-cmds", "rd-out-cmds")
-	for _, entries := range []int{2, 4, 8, 16, 32} {
-		cfg := kernels.NewConfig(dev, kernels.Buffers{GBufEntries: dev.GBufEntries(), OutEntries: entries})
-		stack, err := cfg.SV(4096, 128, 1, false)
-		if err != nil {
-			return nil, err
-		}
-		res, err := (&sched.DCS{Dev: dev}).Schedule(stack)
-		if err != nil {
-			return nil, err
-		}
-		st := kernels.StackStats(stack)
-		t.AddRow(entries, int64(res.Total), st.WrInp, st.RdOut)
+	rows, err := sweep.Rows(context.Background(), []int{2, 4, 8, 16, 32},
+		func(_ context.Context, entries int) ([]any, error) {
+			cfg := kernels.NewConfig(dev, kernels.Buffers{GBufEntries: dev.GBufEntries(), OutEntries: entries})
+			stack, err := cfg.SV(4096, 128, 1, false)
+			if err != nil {
+				return nil, err
+			}
+			res, err := (&sched.DCS{Dev: dev}).Schedule(stack)
+			if err != nil {
+				return nil, err
+			}
+			st := kernels.StackStats(stack)
+			return []any{entries, int64(res.Total), st.WrInp, st.RdOut}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
+	addRows(t, rows)
 	return &Result{ID: "abl-obuf", Title: "Output buffer depth ablation", Tables: []*tablefmt.Table{t},
 		Notes: []string{"entries=2 is the conventional 4-byte OutReg; PIMphony uses 32"}}, nil
 }
@@ -222,11 +303,16 @@ func AblationTCPReduce() (*Result, error) {
 	}
 	const headsPerLayer = 8 // concurrent head tiles per channel per layer
 	layer := float64(att.Cycles) * headsPerLayer
-	for _, bw := range []float64{64, 128, 256, 512, 1024} {
-		c := mapping.SVReduction(32, 128, base.ElemsPerTile(), base.TileBytes, bw,
-			int64(base.HubHopCycles), int64(base.EPUAddCycles))
-		t.AddRow(bw, c.TotalCycles, 100*float64(c.TotalCycles)/layer)
+	rows, err := sweep.Rows(context.Background(), []float64{64, 128, 256, 512, 1024},
+		func(_ context.Context, bw float64) ([]any, error) {
+			c := mapping.SVReduction(32, 128, base.ElemsPerTile(), base.TileBytes, bw,
+				int64(base.HubHopCycles), int64(base.EPUAddCycles))
+			return []any{bw, c.TotalCycles, 100 * float64(c.TotalCycles) / layer}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
+	addRows(t, rows)
 	return &Result{ID: "abl-tcp", Title: "TCP aggregation-cost sensitivity", Tables: []*tablefmt.Table{t},
 		Notes: []string{"paper: SV reduction is below 0.2% of attention latency for LLM-7B at 16K tokens"}}, nil
 }

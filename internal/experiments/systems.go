@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"pimphony/internal/cluster"
 	"pimphony/internal/core"
 	"pimphony/internal/model"
+	"pimphony/internal/sweep"
 	"pimphony/internal/tablefmt"
 	"pimphony/internal/workload"
 )
@@ -24,22 +26,43 @@ func requestPool(tr workload.Trace, n int) []workload.Request {
 	return workload.NewGenerator(tr, 42).Batch(n)
 }
 
+// modelTrace is one (model, trace) sweep point.
+type modelTrace struct {
+	m  model.Config
+	tr workload.Trace
+}
+
+// modelTraceGrid crosses each model with its evaluation suite.
+func modelTraceGrid(models []model.Config) []modelTrace {
+	var pts []modelTrace
+	for _, m := range models {
+		for _, tr := range tracesFor(m) {
+			pts = append(pts, modelTrace{m, tr})
+		}
+	}
+	return pts
+}
+
 // incrementalTable runs the +TCP/+DCS/+DPA ladder for one preset across
-// its traces.
+// its traces, sweeping the independent (model, trace) points in
+// parallel.
 func incrementalTable(title string, preset func(model.Config, core.Technique) core.Config, models []model.Config, poolSize int) (*tablefmt.Table, error) {
 	t := tablefmt.New(title,
 		"model", "trace", "baseline", "+TCP", "+DCS", "+DPA", "speedup")
-	for _, m := range models {
-		for _, tr := range tracesFor(m) {
-			reqs := requestPool(tr, poolSize)
-			stages, err := core.IncrementalStudy(preset(m, core.Baseline()), reqs)
+	rows, err := sweep.Rows(context.Background(), modelTraceGrid(models),
+		func(ctx context.Context, p modelTrace) ([]any, error) {
+			reqs := requestPool(p.tr, poolSize)
+			stages, err := core.IncrementalStudyCtx(ctx, preset(p.m, core.Baseline()), reqs)
 			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", m.Name, tr.Name, err)
+				return nil, fmt.Errorf("%s/%s: %w", p.m.Name, p.tr.Name, err)
 			}
 			tp := func(i int) float64 { return stages[i].Report.Throughput }
-			t.AddRow(m.Name, tr.Name, tp(0), tp(1), tp(2), tp(3), tp(3)/tp(0))
-		}
+			return []any{p.m.Name, p.tr.Name, tp(0), tp(1), tp(2), tp(3), tp(3) / tp(0)}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
+	addRows(t, rows)
 	return t, nil
 }
 
@@ -47,7 +70,7 @@ func incrementalTable(title string, preset func(model.Config, core.Technique) co
 // incremental TCP/DCS/DPA bars for all four models on their suites.
 func Fig13PIMOnly() (*Result, error) {
 	t, err := incrementalTable("Fig. 13 — PIM-only throughput (tokens/s), optimal TP/PP",
-		core.CENT, model.All(), 64)
+		core.CENT, sweepModels(), pool(64))
 	if err != nil {
 		return nil, err
 	}
@@ -58,7 +81,7 @@ func Fig13PIMOnly() (*Result, error) {
 // Fig14XPUPIM reproduces the xPU+PIM (NeuPIMs-style) throughput study.
 func Fig14XPUPIM() (*Result, error) {
 	t, err := incrementalTable("Fig. 14 — xPU+PIM throughput (tokens/s), optimal TP/PP",
-		core.NeuPIMs, model.All(), 64)
+		core.NeuPIMs, sweepModels(), pool(64))
 	if err != nil {
 		return nil, err
 	}
@@ -74,25 +97,33 @@ func Fig4Utilization() (*Result, error) {
 	m := model.LLM7B128KGQA() // the paper's LLM-7B-32K-GQA equivalent
 	t := tablefmt.New("Fig. 4 — PIM utilization under short and long contexts (CENT, LLM-7B GQA)",
 		"workload", "stage", "pim-util%", "eff-batch", "tok/s")
-	cases := []struct {
+	type utilCase struct {
 		label string
 		reqs  []workload.Request
 		tmax  int
-	}{
-		{"4K", workload.ThreeSigma(4096, 7).Batch(192), 3 * 4096 / 2},
-		{"32K(QMSum)", workload.NewGenerator(workload.QMSum(), 7).Batch(192), 32768},
 	}
-	for _, c := range cases {
-		cfg := core.CENT(m, core.Baseline())
-		cfg.TMaxOverride = c.tmax
-		stages, err := core.IncrementalStudy(cfg, c.reqs)
-		if err != nil {
-			return nil, err
-		}
-		for _, st := range stages {
-			t.AddRow(c.label, st.Stage, 100*st.Report.PIMUtil, st.Report.Batch, st.Report.Throughput)
-		}
+	cases := []utilCase{
+		{"4K", workload.ThreeSigma(4096, 7).Batch(pool(192)), 3 * 4096 / 2},
+		{"32K(QMSum)", workload.NewGenerator(workload.QMSum(), 7).Batch(pool(192)), 32768},
 	}
+	groups, err := sweep.RowGroups(context.Background(), cases,
+		func(ctx context.Context, c utilCase) ([][]any, error) {
+			cfg := core.CENT(m, core.Baseline())
+			cfg.TMaxOverride = c.tmax
+			stages, err := core.IncrementalStudyCtx(ctx, cfg, c.reqs)
+			if err != nil {
+				return nil, err
+			}
+			var rows [][]any
+			for _, st := range stages {
+				rows = append(rows, []any{c.label, st.Stage, 100 * st.Report.PIMUtil, st.Report.Batch, st.Report.Throughput})
+			}
+			return rows, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	addRowGroups(t, groups)
 	return &Result{ID: "fig4", Title: "PIM utilization preview", Tables: []*tablefmt.Table{t},
 		Notes: []string{"paper: 48% utilization reduction at 32K for CENT; PIMphony restores it (effective batch 53 with DPA)"}}, nil
 }
@@ -100,38 +131,54 @@ func Fig4Utilization() (*Result, error) {
 // Fig15Parallelism sweeps (TP, PP) combinations for the two Fig. 15
 // workloads under baseline and full PIMphony.
 func Fig15Parallelism() (*Result, error) {
-	cases := []struct {
-		m  model.Config
-		tr workload.Trace
-	}{
+	cases := []modelTrace{
 		{model.LLM7B32K(), workload.QMSum()},
 		{model.LLM7B128KGQA(), workload.MultiFieldQA()},
 	}
-	t := tablefmt.New("Fig. 15 — throughput across (TP,PP) on CENT (tokens/s)",
-		"model", "trace", "tp", "pp", "baseline", "pimphony")
+	parGrid := []struct{ tp, pp int }{{8, 1}, {4, 2}, {2, 4}, {1, 8}}
+	if Short() {
+		parGrid = []struct{ tp, pp int }{{8, 1}, {1, 8}}
+	}
+	type point struct {
+		modelTrace
+		tp, pp int
+		reqs   []workload.Request // shared read-only across the case's points
+	}
+	var pts []point
 	for _, c := range cases {
-		reqs := requestPool(c.tr, 64)
-		for _, par := range []struct{ tp, pp int }{{8, 1}, {4, 2}, {2, 4}, {1, 8}} {
+		reqs := requestPool(c.tr, pool(64))
+		for _, par := range parGrid {
 			if c.m.Layers%par.pp != 0 || par.tp > c.m.KVHeads() {
 				continue
 			}
+			pts = append(pts, point{c, par.tp, par.pp, reqs})
+		}
+	}
+	t := tablefmt.New("Fig. 15 — throughput across (TP,PP) on CENT (tokens/s)",
+		"model", "trace", "tp", "pp", "baseline", "pimphony")
+	rows, err := sweep.Rows(context.Background(), pts,
+		func(ctx context.Context, p point) ([]any, error) {
+			reqs := p.reqs
 			var tput [2]float64
 			for i, tech := range []core.Technique{core.Baseline(), core.PIMphony()} {
-				cfg := core.CENT(c.m, tech)
-				cfg.TP, cfg.PP = par.tp, par.pp
+				cfg := core.CENT(p.m, tech)
+				cfg.TP, cfg.PP = p.tp, p.pp
 				sys, err := core.NewSystem(cfg)
 				if err != nil {
 					return nil, err
 				}
-				rep, err := sys.Serve(reqs)
+				rep, err := sys.ServeCtx(ctx, reqs)
 				if err != nil {
 					return nil, err
 				}
 				tput[i] = rep.Throughput
 			}
-			t.AddRow(c.m.Name, c.tr.Name, par.tp, par.pp, tput[0], tput[1])
-		}
+			return []any{p.m.Name, p.tr.Name, p.tp, p.pp, tput[0], tput[1]}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
+	addRows(t, rows)
 	return &Result{ID: "fig15", Title: "Tensor vs pipeline parallelization", Tables: []*tablefmt.Table{t},
 		Notes: []string{"paper: TCP lifts TP efficiency; DPA's larger batches make PP viable (20% gain for GQA)"}}, nil
 }
@@ -140,40 +187,96 @@ func Fig15Parallelism() (*Result, error) {
 func Fig16Energy() (*Result, error) {
 	t := tablefmt.New("Fig. 16 — attention energy breakdown per decode window (CENT)",
 		"model", "system", "mac%", "io%", "background%", "else%", "attn-energy-ratio")
-	for _, m := range []model.Config{model.LLM7B32K(), model.LLM7B128KGQA()} {
-		tr := tracesFor(m)[0]
-		reqs := requestPool(tr, 48)
-		var base, full *core.Report
-		for _, tech := range []core.Technique{core.Baseline(), core.PIMphony()} {
-			sys, err := core.NewSystem(core.CENT(m, tech))
-			if err != nil {
-				return nil, err
+	models := []model.Config{model.LLM7B32K(), model.LLM7B128KGQA()}
+	groups, err := sweep.RowGroups(context.Background(), models,
+		func(ctx context.Context, m model.Config) ([][]any, error) {
+			tr := tracesFor(m)[0]
+			reqs := requestPool(tr, pool(48))
+			var base, full *core.Report
+			for _, tech := range []core.Technique{core.Baseline(), core.PIMphony()} {
+				sys, err := core.NewSystem(core.CENT(m, tech))
+				if err != nil {
+					return nil, err
+				}
+				rep, err := sys.ServeCtx(ctx, reqs)
+				if err != nil {
+					return nil, err
+				}
+				if tech.TCP {
+					full = rep
+				} else {
+					base = rep
+				}
 			}
-			rep, err := sys.Serve(reqs)
-			if err != nil {
-				return nil, err
+			var rows [][]any
+			for _, row := range []struct {
+				name string
+				rep  *core.Report
+			}{{"cent", base}, {"cent+pimphony", full}} {
+				e := row.rep.AttnEnergy
+				tot := e.Total()
+				// Normalise per generated token for a fair ratio (batches differ).
+				perTok := tot / float64(row.rep.Batch*row.rep.Steps)
+				basePerTok := base.AttnEnergy.Total() / float64(base.Batch*base.Steps)
+				rows = append(rows, []any{m.Name, row.name, 100 * e.MAC / tot, 100 * e.IO / tot,
+					100 * e.Background / tot, 100 * e.Else / tot, basePerTok / perTok})
 			}
-			if tech.TCP {
-				full = rep
-			} else {
-				base = rep
-			}
-		}
-		for _, row := range []struct {
-			name string
-			rep  *core.Report
-		}{{"cent", base}, {"cent+pimphony", full}} {
-			e := row.rep.AttnEnergy
-			tot := e.Total()
-			// Normalise per generated token for a fair ratio (batches differ).
-			perTok := tot / float64(row.rep.Batch*row.rep.Steps)
-			basePerTok := base.AttnEnergy.Total() / float64(base.Batch*base.Steps)
-			t.AddRow(m.Name, row.name, 100*e.MAC/tot, 100*e.IO/tot,
-				100*e.Background/tot, 100*e.Else/tot, basePerTok/perTok)
-		}
+			return rows, nil
+		})
+	if err != nil {
+		return nil, err
 	}
+	addRowGroups(t, groups)
 	return &Result{ID: "fig16", Title: "Energy breakdown", Tables: []*tablefmt.Table{t},
 		Notes: []string{"paper: background share collapses 71.5% -> 13.0%; up to 3.46x attention energy reduction"}}, nil
+}
+
+// fig17Preset describes one Fig. 17 system family.
+type fig17Preset struct {
+	name      string
+	make      func(model.Config, core.Technique) core.Config
+	modBytes  int64
+	modsForGB func(gib int) int
+	tpOnly    bool // NeuPIMs scales via pure (token-sharded) TP
+}
+
+func fig17Presets() []fig17Preset {
+	return []fig17Preset{
+		{"cent", core.CENT, 16 << 30, func(gib int) int { return gib / 16 }, false},
+		{"neupims", core.NeuPIMs, 32 << 30, func(gib int) int { return gib / 32 }, true},
+	}
+}
+
+// fig17Pair runs one sweep point under baseline and full PIMphony. The
+// two techniques are themselves independent simulations, so they nest
+// another level of fan-out (halving the critical path of the slowest
+// long-context points).
+func fig17Pair(ctx context.Context, m model.Config, p fig17Preset, modules, tmax int, reqs []workload.Request) ([2]float64, error) {
+	tputs, err := sweep.Run(ctx, []core.Technique{core.Baseline(), core.PIMphony()},
+		func(ctx context.Context, tech core.Technique) (float64, error) {
+			cfg := p.make(m, tech)
+			cfg.Modules = modules
+			if p.tpOnly {
+				cfg.TP, cfg.PP = cfg.Modules, 1
+			} else {
+				cfg.TP, cfg.PP = optimalTPPP(m, cfg.Modules)
+			}
+			cfg.TMaxOverride = tmax
+			cfg.DecodeWindow = 2
+			sys, err := core.NewSystem(cfg)
+			if err != nil {
+				return 0, err
+			}
+			rep, err := sys.ServeCtx(ctx, reqs)
+			if err != nil {
+				return 0, err
+			}
+			return rep.Throughput, nil
+		})
+	if err != nil {
+		return [2]float64{}, err
+	}
+	return [2]float64{tputs[0], tputs[1]}, nil
 }
 
 // Fig17Scalability reproduces both panels: throughput vs system capacity
@@ -183,73 +286,58 @@ func Fig17Scalability() (*Result, error) {
 	m := model.LLM7B128KGQA()
 	capTable := tablefmt.New("Fig. 17a — throughput vs capacity (LLM-7B-128K-GQA, 64K±3σ)",
 		"system", "capacity-GiB", "modules", "baseline", "pimphony", "speedup")
-	type preset struct {
-		name      string
-		make      func(model.Config, core.Technique) core.Config
-		modBytes  int64
-		modsForGB func(gib int) int
-		tpOnly    bool // NeuPIMs scales via pure (token-sharded) TP
-	}
-	presets := []preset{
-		{"cent", core.CENT, 16 << 30, func(gib int) int { return gib / 16 }, false},
-		{"neupims", core.NeuPIMs, 32 << 30, func(gib int) int { return gib / 32 }, true},
-	}
-	for _, p := range presets {
-		for _, gib := range []int{128, 256, 512, 1024} {
-			reqs := workload.ThreeSigma(64<<10, 9).Batch(64)
-			var tput [2]float64
-			for i, tech := range []core.Technique{core.Baseline(), core.PIMphony()} {
-				cfg := p.make(m, tech)
-				cfg.Modules = p.modsForGB(gib)
-				if p.tpOnly {
-					cfg.TP, cfg.PP = cfg.Modules, 1
-				} else {
-					cfg.TP, cfg.PP = optimalTPPP(m, cfg.Modules)
-				}
-				cfg.TMaxOverride = 3 * 64 << 10 / 2 // 3-sigma upper bound
-				cfg.DecodeWindow = 2
-				sys, err := core.NewSystem(cfg)
-				if err != nil {
-					return nil, err
-				}
-				rep, err := sys.Serve(reqs)
-				if err != nil {
-					return nil, err
-				}
-				tput[i] = rep.Throughput
-			}
-			capTable.AddRow(p.name, gib, p.modsForGB(gib), tput[0], tput[1], tput[1]/tput[0])
-		}
+	gibGrid := []int{128, 256, 512, 1024}
+	ctxGrid := []int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+	if Short() {
+		gibGrid = []int{128}
+		ctxGrid = []int{4 << 10, 16 << 10}
 	}
 	ctxTable := tablefmt.New("Fig. 17b — throughput vs context length at 512 GiB (LLM-7B-128K-GQA, ±3σ)",
 		"system", "context", "baseline", "pimphony", "speedup")
-	for _, p := range presets {
-		for _, ctx := range []int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20} {
-			reqs := workload.ThreeSigma(ctx, 13).Batch(64)
-			var tput [2]float64
-			for i, tech := range []core.Technique{core.Baseline(), core.PIMphony()} {
-				cfg := p.make(m, tech)
-				cfg.Modules = p.modsForGB(512)
-				if p.tpOnly {
-					cfg.TP, cfg.PP = cfg.Modules, 1
-				} else {
-					cfg.TP, cfg.PP = optimalTPPP(m, cfg.Modules)
-				}
-				cfg.TMaxOverride = 3 * ctx / 2
-				cfg.DecodeWindow = 2
-				sys, err := core.NewSystem(cfg)
-				if err != nil {
-					return nil, err
-				}
-				rep, err := sys.Serve(reqs)
-				if err != nil {
-					return nil, err
-				}
-				tput[i] = rep.Throughput
-			}
-			ctxTable.AddRow(p.name, ctx, tput[0], tput[1], tput[1]/tput[0])
+	// Both panels fan out through ONE sweep so the expensive long-context
+	// points pack against the cheap capacity points on the worker pool;
+	// the first len(capacity grid) results route to Fig. 17a, the rest to
+	// Fig. 17b (result order is input order).
+	type f17Point struct {
+		p     fig17Preset
+		isCap bool
+		gib   int // capacity panel
+		ctx   int // context panel
+	}
+	var pts []f17Point
+	for _, p := range fig17Presets() {
+		for _, gib := range gibGrid {
+			pts = append(pts, f17Point{p: p, isCap: true, gib: gib})
 		}
 	}
+	capPoints := len(pts)
+	for _, p := range fig17Presets() {
+		for _, ctx := range ctxGrid {
+			pts = append(pts, f17Point{p: p, ctx: ctx})
+		}
+	}
+	rows, err := sweep.Rows(context.Background(), pts,
+		func(ctx context.Context, pt f17Point) ([]any, error) {
+			if pt.isCap {
+				reqs := workload.ThreeSigma(64<<10, 9).Batch(pool(64))
+				tput, err := fig17Pair(ctx, m, pt.p, pt.p.modsForGB(pt.gib), 3*64<<10/2, reqs)
+				if err != nil {
+					return nil, err
+				}
+				return []any{pt.p.name, pt.gib, pt.p.modsForGB(pt.gib), tput[0], tput[1], tput[1] / tput[0]}, nil
+			}
+			reqs := workload.ThreeSigma(pt.ctx, 13).Batch(pool(64))
+			tput, err := fig17Pair(ctx, m, pt.p, pt.p.modsForGB(512), 3*pt.ctx/2, reqs)
+			if err != nil {
+				return nil, err
+			}
+			return []any{pt.p.name, pt.ctx, tput[0], tput[1], tput[1] / tput[0]}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	addRows(capTable, rows[:capPoints])
+	addRows(ctxTable, rows[capPoints:])
 	return &Result{ID: "fig17", Title: "Scalability with capacity and context length",
 		Tables: []*tablefmt.Table{capTable, ctxTable},
 		Notes:  []string{"paper: 46.6x over CENT and 5.0x over NeuPIMs at 1M context; 2.1x even at short contexts"}}, nil
@@ -274,45 +362,53 @@ func optimalTPPP(m model.Config, modules int) (int, int) {
 // Fig20GPUCompare reproduces the GPU comparison: A100s with
 // flash-decoding + paged-attention vs memory-matched PIMphony systems.
 func Fig20GPUCompare() (*Result, error) {
-	cases := []struct {
-		m  model.Config
-		tr workload.Trace
-	}{
+	cases := []modelTrace{
 		{model.LLM7B32K(), workload.QMSum()},
 		{model.LLM72B32K(), workload.QMSum()},
 		{model.LLM7B128KGQA(), workload.MultiFieldQA()},
 		{model.LLM72B128KGQA(), workload.MultiFieldQA()},
 	}
+	if Short() {
+		cases = []modelTrace{
+			{model.LLM7B32K(), workload.QMSum()},
+			{model.LLM7B128KGQA(), workload.MultiFieldQA()},
+		}
+	}
 	t := tablefmt.New("Fig. 20 — GPU (A100+FD+PA) vs PIMphony (tokens/s, memory-matched)",
 		"model", "trace", "gpu", "cent+pimphony", "neupims+pimphony", "best-vs-gpu")
-	for _, c := range cases {
-		reqs := requestPool(c.tr, 48)
-		gpuSys, err := core.NewSystem(core.GPU(c.m))
-		if err != nil {
-			return nil, err
-		}
-		gpuRep, err := gpuSys.Serve(reqs)
-		if err != nil {
-			return nil, err
-		}
-		var pims [2]float64
-		for i, mk := range []func(model.Config, core.Technique) core.Config{core.CENT, core.NeuPIMs} {
-			sys, err := core.NewSystem(mk(c.m, core.PIMphony()))
+	rows, err := sweep.Rows(context.Background(), cases,
+		func(ctx context.Context, c modelTrace) ([]any, error) {
+			reqs := requestPool(c.tr, pool(48))
+			gpuSys, err := core.NewSystem(core.GPU(c.m))
 			if err != nil {
 				return nil, err
 			}
-			rep, err := sys.Serve(reqs)
+			gpuRep, err := gpuSys.ServeCtx(ctx, reqs)
 			if err != nil {
 				return nil, err
 			}
-			pims[i] = rep.Throughput
-		}
-		best := pims[0]
-		if pims[1] > best {
-			best = pims[1]
-		}
-		t.AddRow(c.m.Name, c.tr.Name, gpuRep.Throughput, pims[0], pims[1], best/gpuRep.Throughput)
+			var pims [2]float64
+			for i, mk := range []func(model.Config, core.Technique) core.Config{core.CENT, core.NeuPIMs} {
+				sys, err := core.NewSystem(mk(c.m, core.PIMphony()))
+				if err != nil {
+					return nil, err
+				}
+				rep, err := sys.ServeCtx(ctx, reqs)
+				if err != nil {
+					return nil, err
+				}
+				pims[i] = rep.Throughput
+			}
+			best := pims[0]
+			if pims[1] > best {
+				best = pims[1]
+			}
+			return []any{c.m.Name, c.tr.Name, gpuRep.Throughput, pims[0], pims[1], best / gpuRep.Throughput}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
+	addRows(t, rows)
 	return &Result{ID: "fig20", Title: "Throughput comparison with GPU systems", Tables: []*tablefmt.Table{t},
 		Notes: []string{"paper: largest gains on non-GQA models; the GPU's FC advantage narrows the 72B gap"}}, nil
 }
@@ -341,9 +437,14 @@ func AblationPrefill() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, ctx := range []int{4 << 10, 16 << 10, 32 << 10, 128 << 10} {
-		t.AddRow(ctx, centSys.PrefillSeconds(ctx), neuSys.PrefillSeconds(ctx), gpuSys.PrefillSeconds(ctx))
+	rows, err := sweep.Rows(context.Background(), []int{4 << 10, 16 << 10, 32 << 10, 128 << 10},
+		func(_ context.Context, ctx int) ([]any, error) {
+			return []any{ctx, centSys.PrefillSeconds(ctx), neuSys.PrefillSeconds(ctx), gpuSys.PrefillSeconds(ctx)}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
+	addRows(t, rows)
 	return &Result{ID: "abl-prefill", Title: "Prefill-phase cost across systems", Tables: []*tablefmt.Table{t},
 		Notes: []string{"decode throughput (Fig. 13/14) excludes prefill; this shows why xPU+PIM splits the phases"}}, nil
 }

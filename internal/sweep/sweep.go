@@ -1,0 +1,183 @@
+// Package sweep is the deterministic worker-pool engine behind every
+// parameter sweep in the repository: the experiment drivers
+// (internal/experiments), the multi-config cluster sweeps
+// (internal/cluster) and the grid modes of cmd/pimphony-bench and
+// cmd/pimphony-sim all fan their independent simulation points through
+// Run.
+//
+// The engine guarantees that parallel execution is observationally
+// identical to the sequential loop it replaces: results come back in
+// input order, every point is evaluated by a pure-per-point function
+// (shared caches such as perfmodel's memoizer are internally locked and
+// value-deterministic), and the reported error is the lowest-indexed
+// failure. The only difference parallelism makes is wall-clock time.
+package sweep
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultParallelism is the process-wide worker bound used when a Run
+// call does not pass Parallelism. Zero means GOMAXPROCS. Binaries expose
+// it as their -parallel flag via SetDefault.
+var defaultParallelism atomic.Int64
+
+// SetDefault sets the process-wide default worker bound. n <= 0 restores
+// the GOMAXPROCS default. It returns the previous setting so callers
+// (e.g. equivalence tests) can restore it.
+func SetDefault(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(defaultParallelism.Swap(int64(n)))
+}
+
+// Default reports the current default worker bound (GOMAXPROCS if unset).
+func Default() int {
+	if n := int(defaultParallelism.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// options holds per-Run configuration.
+type options struct {
+	parallelism int
+	onProgress  func(done, total int)
+}
+
+// Option configures one Run call.
+type Option func(*options)
+
+// Parallelism bounds the worker count for this Run; n <= 0 means the
+// process default (SetDefault / GOMAXPROCS). Parallelism(1) degenerates
+// to the plain sequential loop.
+func Parallelism(n int) Option {
+	return func(o *options) { o.parallelism = n }
+}
+
+// Progress registers a callback invoked after each successfully
+// completed point with the number of finished points and the total.
+// Invocations are serialized, so the callback needs no locking of its
+// own; completion order (not input order) determines the call order.
+// Failed points do not report, and after the first failure the
+// remaining points are cancelled, so on an erroring sweep the counter
+// stops short of the total.
+func Progress(fn func(done, total int)) Option {
+	return func(o *options) { o.onProgress = fn }
+}
+
+// Run evaluates fn over every point on a bounded worker pool and returns
+// the results in input order.
+//
+// On the first failure the sweep context is cancelled so in-flight and
+// not-yet-started points can stop early; fn implementations running long
+// simulations should poll ctx. After the pool drains, Run returns the
+// error of the lowest-indexed point that failed of its own accord
+// (deterministic under Parallelism(1): always the first failure the
+// sequential loop would have hit). Points that merely observed the
+// cancellation — skipped before starting, or in-flight returns wrapping
+// context.Canceled — are not reported as the cause. If the parent
+// context is cancelled, Run returns its error.
+func Run[P, R any](ctx context.Context, points []P, fn func(ctx context.Context, p P) (R, error), opts ...Option) ([]R, error) {
+	o := options{}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	workers := o.parallelism
+	if workers <= 0 {
+		workers = Default()
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	results := make([]R, len(points))
+	if len(points) == 0 {
+		return results, ctx.Err()
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, len(points))
+	var next atomic.Int64
+	var mu sync.Mutex // serializes the progress callback and its counter
+	done := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(points) {
+					return
+				}
+				if cctx.Err() != nil {
+					// A failure (or the caller) cancelled the sweep;
+					// drain the remaining points without evaluating.
+					continue
+				}
+				r, err := fn(cctx, points[i])
+				if err != nil {
+					errs[i] = err
+					cancel()
+					continue
+				}
+				results[i] = r
+				if o.onProgress != nil {
+					mu.Lock()
+					done++
+					o.onProgress(done, len(points))
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Report the lowest-indexed point that failed of its own accord. A
+	// point that returned context.Canceled after a sibling's failure
+	// tripped the sweep context is a cancellation casualty, not the
+	// cause — skipping it keeps the root error from being masked by a
+	// lower-indexed in-flight point that happened to observe the cancel
+	// first.
+	var canceledErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) && ctx.Err() == nil {
+			if canceledErr == nil {
+				canceledErr = err
+			}
+			continue
+		}
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if canceledErr != nil {
+		return nil, canceledErr
+	}
+	return results, nil
+}
+
+// Rows is a convenience wrapper for the common experiment-driver shape:
+// each point yields one pre-formatted table row. It preserves input
+// order, so appending the returned rows reproduces the sequential loop's
+// table byte for byte.
+func Rows[P any](ctx context.Context, points []P, fn func(ctx context.Context, p P) ([]any, error), opts ...Option) ([][]any, error) {
+	return Run(ctx, points, fn, opts...)
+}
+
+// RowGroups is Rows for drivers whose points each emit several
+// consecutive table rows (e.g. one row per incremental technique stage).
+// The groups come back in input order; flattening them reproduces the
+// sequential table.
+func RowGroups[P any](ctx context.Context, points []P, fn func(ctx context.Context, p P) ([][]any, error), opts ...Option) ([][][]any, error) {
+	return Run(ctx, points, fn, opts...)
+}

@@ -1,0 +1,266 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestOrderingPreserved(t *testing.T) {
+	points := make([]int, 100)
+	for i := range points {
+		points[i] = i
+	}
+	for _, par := range []int{1, 2, 7, 64} {
+		got, err := Run(context.Background(), points,
+			func(_ context.Context, p int) (int, error) { return p * p, nil },
+			Parallelism(par))
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		for i, r := range got {
+			if r != i*i {
+				t.Fatalf("par=%d: result[%d] = %d, want %d", par, i, r, i*i)
+			}
+		}
+	}
+}
+
+func TestParallelism1Equivalence(t *testing.T) {
+	// Under Parallelism(1) the engine must behave exactly like the
+	// sequential loop: same results, same evaluation order, and the first
+	// error stops evaluation of later points.
+	var order []int
+	points := []int{10, 20, 30, 40}
+	seq, err := Run(context.Background(), points, func(_ context.Context, p int) (string, error) {
+		order = append(order, p)
+		return fmt.Sprintf("v%d", p), nil
+	}, Parallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{10, 20, 30, 40}; !reflect.DeepEqual(order, want) {
+		t.Errorf("evaluation order %v, want %v", order, want)
+	}
+	par, err := Run(context.Background(), points, func(_ context.Context, p int) (string, error) {
+		return fmt.Sprintf("v%d", p), nil
+	}, Parallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("parallel results %v differ from sequential %v", par, seq)
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	points := []int{0, 1, 2, 3, 4, 5}
+	_, err := Run(context.Background(), points, func(_ context.Context, p int) (int, error) {
+		if p == 3 {
+			return 0, fmt.Errorf("point %d: %w", p, boom)
+		}
+		return p, nil
+	}, Parallelism(2))
+	if !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
+func TestLowestIndexedErrorWins(t *testing.T) {
+	// Two failing points: the reported error must be the lower-indexed
+	// one whenever both actually ran, and under Parallelism(1) it is
+	// always the first failure the sequential loop would hit.
+	points := []int{0, 1, 2, 3}
+	_, err := Run(context.Background(), points, func(_ context.Context, p int) (int, error) {
+		if p >= 2 {
+			return 0, fmt.Errorf("fail-%d", p)
+		}
+		return p, nil
+	}, Parallelism(1))
+	if err == nil || err.Error() != "fail-2" {
+		t.Fatalf("sequential first error should win, got %v", err)
+	}
+}
+
+func TestFirstErrorCancelsRemaining(t *testing.T) {
+	// With one worker, a failure at the first point must prevent every
+	// later point from being evaluated at all.
+	var evaluated atomic.Int64
+	points := make([]int, 50)
+	for i := range points {
+		points[i] = i
+	}
+	_, err := Run(context.Background(), points, func(_ context.Context, p int) (int, error) {
+		evaluated.Add(1)
+		if p == 0 {
+			return 0, errors.New("early failure")
+		}
+		return p, nil
+	}, Parallelism(1))
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if n := evaluated.Load(); n != 1 {
+		t.Errorf("evaluated %d points after first-point failure, want 1", n)
+	}
+}
+
+func TestInFlightPointsSeeCancellation(t *testing.T) {
+	// A failing point cancels the context handed to concurrently running
+	// points, so long simulations can stop early.
+	release := make(chan struct{})
+	var sawCancel atomic.Bool
+	points := []string{"fail", "slow"}
+	_, err := Run(context.Background(), points, func(ctx context.Context, p string) (int, error) {
+		if p == "fail" {
+			<-release // hold until the slow point is definitely running
+			return 0, errors.New("fail point")
+		}
+		close(release)
+		select {
+		case <-ctx.Done():
+			sawCancel.Store(true)
+		case <-time.After(5 * time.Second):
+		}
+		return 0, nil
+	}, Parallelism(2))
+	if err == nil {
+		t.Fatal("expected the fail point's error")
+	}
+	if !sawCancel.Load() {
+		t.Error("in-flight point never observed cancellation")
+	}
+}
+
+func TestCancellationCasualtyDoesNotMaskRootError(t *testing.T) {
+	// Point 0 is a long simulation that aborts with context.Canceled
+	// once point 1's real failure trips the sweep context; Run must
+	// still report point 1's error, not the lower-indexed casualty.
+	release := make(chan struct{})
+	boom := errors.New("root failure")
+	_, err := Run(context.Background(), []int{0, 1}, func(ctx context.Context, p int) (int, error) {
+		if p == 1 {
+			<-release // wait until point 0 is definitely in flight
+			return 0, boom
+		}
+		close(release)
+		<-ctx.Done()
+		return 0, fmt.Errorf("simulation aborted: %w", ctx.Err())
+	}, Parallelism(2))
+	if !errors.Is(err, boom) {
+		t.Fatalf("cancellation casualty masked the root error: got %v", err)
+	}
+}
+
+func TestParentContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, []int{1, 2, 3}, func(ctx context.Context, p int) (int, error) {
+		return p, nil
+	}, Parallelism(2))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled parent context should surface, got %v", err)
+	}
+}
+
+func TestEmptyPoints(t *testing.T) {
+	got, err := Run(context.Background(), nil, func(_ context.Context, p int) (int, error) {
+		t.Fatal("fn must not run")
+		return 0, nil
+	})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty sweep: got %v, %v", got, err)
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	var mu sync.Mutex
+	var dones []int
+	total := 0
+	points := []int{1, 2, 3, 4, 5}
+	_, err := Run(context.Background(), points, func(_ context.Context, p int) (int, error) {
+		return p, nil
+	}, Parallelism(3), Progress(func(done, tot int) {
+		mu.Lock()
+		dones = append(dones, done)
+		total = tot
+		mu.Unlock()
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != len(points) {
+		t.Errorf("total = %d, want %d", total, len(points))
+	}
+	if want := []int{1, 2, 3, 4, 5}; !reflect.DeepEqual(dones, want) {
+		t.Errorf("progress sequence %v, want %v", dones, want)
+	}
+}
+
+func TestActuallyRunsConcurrently(t *testing.T) {
+	// Two points rendezvous: that is only possible if the pool really
+	// runs them on separate goroutines.
+	var barrier sync.WaitGroup
+	barrier.Add(2)
+	done := make(chan struct{})
+	go func() {
+		barrier.Wait()
+		close(done)
+	}()
+	_, err := Run(context.Background(), []int{0, 1}, func(ctx context.Context, p int) (int, error) {
+		barrier.Done()
+		select {
+		case <-done:
+			return p, nil
+		case <-time.After(5 * time.Second):
+			return 0, errors.New("rendezvous timed out: points did not overlap")
+		}
+	}, Parallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetDefault(t *testing.T) {
+	prev := SetDefault(3)
+	defer SetDefault(prev)
+	if Default() != 3 {
+		t.Fatalf("Default() = %d after SetDefault(3)", Default())
+	}
+	SetDefault(0)
+	if Default() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Default() = %d, want GOMAXPROCS", Default())
+	}
+	SetDefault(-5)
+	if Default() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("negative SetDefault should mean GOMAXPROCS, got %d", Default())
+	}
+}
+
+func TestRowsHelpers(t *testing.T) {
+	rows, err := Rows(context.Background(), []int{1, 2}, func(_ context.Context, p int) ([]any, error) {
+		return []any{p, p * 10}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[1][1] != 20 {
+		t.Fatalf("Rows = %v", rows)
+	}
+	groups, err := RowGroups(context.Background(), []int{1}, func(_ context.Context, p int) ([][]any, error) {
+		return [][]any{{p}, {p + 1}}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 || len(groups[0]) != 2 || groups[0][1][0] != 2 {
+		t.Fatalf("RowGroups = %v", groups)
+	}
+}
