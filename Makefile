@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all fmt fmt-check vet build test test-short bench ci
+.PHONY: all fmt fmt-check vet build examples test test-short bench ci
 
 all: build
 
@@ -24,6 +24,11 @@ vet:
 build:
 	$(GO) build ./...
 
+# Build and vet every documented example walkthrough explicitly.
+examples:
+	$(GO) vet ./examples/...
+	$(GO) build -o /dev/null ./examples/...
+
 # Full test suite (regenerates every paper figure on the full grids).
 test:
 	$(GO) test ./...
@@ -36,4 +41,4 @@ test-short:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -short ./...
 
-ci: fmt-check vet build test-short bench
+ci: fmt-check vet build examples test-short bench

@@ -137,3 +137,12 @@ func BenchmarkAblationTCPReduce(b *testing.B) { runExperiment(b, "abl-tcp") }
 // BenchmarkAblationPrefill quantifies prompt-phase cost across system
 // kinds (the Hybe/NeuPIMs phase-splitting motivation).
 func BenchmarkAblationPrefill(b *testing.B) { runExperiment(b, "abl-prefill") }
+
+// ---------------------------------------------------------------------------
+// Serving study beyond the paper's batch evaluation
+// ---------------------------------------------------------------------------
+
+// BenchmarkServeCurve regenerates the online latency–throughput curve:
+// Poisson arrivals load-balanced across continuous-batching replicas,
+// with goodput and p50/p95/p99 TTFT/TBT under the SLO.
+func BenchmarkServeCurve(b *testing.B) { runExperiment(b, "serve") }

@@ -1,0 +1,133 @@
+// Command pimphony-serve runs the online serving simulator: a Poisson
+// arrival stream of long-context requests is load-balanced across one or
+// more continuous-batching PIM decode replicas, and the SLO metrics —
+// p50/p95/p99 TTFT and TBT, goodput under the configured SLO — are
+// printed as a latency–throughput table. Comma-separated -rate,
+// -replicas and -policy values sweep the cross product through the
+// parallel sweep engine; the table is byte-identical at any -parallel
+// setting (every simulation is deterministic given -seed).
+//
+// Examples:
+//
+//	pimphony-serve -system cent -model 7b-32k -trace QMSum
+//	pimphony-serve -rate 50,100,200 -replicas 1,2,4 -policy round-robin,least-tokens
+//	pimphony-serve -rate 100 -policy session -sessions 4 -slo-ttft 50
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"pimphony/internal/core"
+	"pimphony/internal/model"
+	"pimphony/internal/serve"
+	"pimphony/internal/sweep"
+	"pimphony/internal/workload"
+)
+
+func splitInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q in %q", f, s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func splitFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q in %q", f, s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	system := flag.String("system", "cent", "system preset: cent, neupims (GPU systems are not servable)")
+	modelName := flag.String("model", "7b-32k", "model: 7b-32k, 7b-128k-gqa, 72b-32k, 72b-128k-gqa")
+	traceName := flag.String("trace", "QMSum", "workload: QMSum, Musique, multifieldqa, Loogle-SD, or uniform:<tokens>")
+	decode := flag.Int("decode", 32, "generation length per request (tokens)")
+	n := flag.Int("n", 48, "number of requests in the arrival schedule")
+	rates := flag.String("rate", "50,100,200", "arrival rate(s) in requests/second (comma-separated sweeps)")
+	replicas := flag.String("replicas", "1", "replica count(s) behind the load balancer (comma-separated sweeps)")
+	policies := flag.String("policy", "round-robin,least-tokens",
+		fmt.Sprintf("load-balancing policy(ies), comma-separated; known: %s", strings.Join(serve.PolicyNames(), ", ")))
+	sessions := flag.Int("sessions", 8, "number of conversation sessions arrivals are drawn from")
+	sloTTFT := flag.Float64("slo-ttft", 100, "TTFT SLO in milliseconds (0 disables)")
+	sloTBT := flag.Float64("slo-tbt", 25, "TBT SLO in milliseconds (0 disables)")
+	prefill := flag.Bool("prefill", false, "add offloaded prompt-prefill latency to TTFT/E2E")
+	seed := flag.Int64("seed", 42, "RNG seed for request sizes and arrival times")
+	parallel := flag.Int("parallel", 0, "sweep worker bound, 0 = GOMAXPROCS (1 reproduces fully sequential runs)")
+	csv := flag.Bool("csv", false, "emit CSV instead of the aligned table")
+	flag.Parse()
+
+	sweep.SetDefault(*parallel)
+	m, err := model.ByFlag(*modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sysCfg core.Config
+	switch strings.ToLower(*system) {
+	case "cent":
+		sysCfg = core.CENT(m, core.PIMphony())
+	case "neupims":
+		sysCfg = core.NeuPIMs(m, core.PIMphony())
+	default:
+		log.Fatalf("unknown system %q (cent, neupims)", *system)
+	}
+
+	rateList, err := splitFloats(*rates)
+	if err != nil {
+		log.Fatal(err)
+	}
+	replList, err := splitInts(*replicas)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var pts []serve.CurvePoint
+	for _, pol := range strings.Split(*policies, ",") {
+		pol = strings.TrimSpace(pol)
+		for _, r := range replList {
+			for _, rate := range rateList {
+				pts = append(pts, serve.CurvePoint{Policy: pol, Replicas: r, Rate: rate})
+			}
+		}
+	}
+
+	// One deterministic schedule per rate: the request sequence (sizes,
+	// sessions) is identical across rates; only the timestamps change.
+	// The arrival process gets a derived seed so the size and timing
+	// RNG streams are independent, not copies of one another.
+	mkArrivals := func(rate float64) ([]workload.Arrival, error) {
+		gen, err := workload.GeneratorByFlag(strings.TrimSpace(*traceName), *seed)
+		if err != nil {
+			return nil, err
+		}
+		gen.DecodeLen = *decode
+		return workload.PoissonArrivals(gen, rate, *sessions, *n, *seed+1)
+	}
+
+	slo := serve.SLO{TTFT: *sloTTFT / 1e3, TBT: *sloTBT / 1e3}
+	title := fmt.Sprintf("serving %s / %s / %s — %d requests, decode %d, SLO ttft<=%gms tbt<=%gms (latencies in ms)",
+		*system, m.Name, strings.TrimSpace(*traceName), *n, *decode, *sloTTFT, *sloTBT)
+	t, err := serve.CurveTable(context.Background(), title, sysCfg, pts, slo, *prefill, mkArrivals)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *csv {
+		fmt.Print(t.CSV())
+		return
+	}
+	fmt.Print(t.String())
+}

@@ -24,21 +24,6 @@ import (
 	"pimphony/internal/workload"
 )
 
-func modelByFlag(name string) (model.Config, error) {
-	switch strings.ToLower(name) {
-	case "7b-32k":
-		return model.LLM7B32K(), nil
-	case "7b-128k-gqa":
-		return model.LLM7B128KGQA(), nil
-	case "72b-32k":
-		return model.LLM72B32K(), nil
-	case "72b-128k-gqa":
-		return model.LLM72B128KGQA(), nil
-	default:
-		return model.Config{}, fmt.Errorf("unknown model %q (7b-32k, 7b-128k-gqa, 72b-32k, 72b-128k-gqa)", name)
-	}
-}
-
 // point is one (system, model, trace) grid cell.
 type point struct {
 	system string
@@ -73,7 +58,7 @@ func main() {
 		if _, ok := poolByTrace[tName]; ok {
 			continue
 		}
-		gen, err := generatorByFlag(tName, *seed)
+		gen, err := workload.GeneratorByFlag(tName, *seed)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -83,7 +68,7 @@ func main() {
 	var pts []point
 	for _, sysName := range strings.Split(*system, ",") {
 		for _, mName := range strings.Split(*modelName, ",") {
-			m, err := modelByFlag(strings.TrimSpace(mName))
+			m, err := model.ByFlag(strings.TrimSpace(mName))
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -139,21 +124,6 @@ func main() {
 			1e3*rep.TBTSeconds, 100*rep.PIMUtil, 100*rep.CapacityUtil)
 	}
 	fmt.Print(t.String())
-}
-
-func generatorByFlag(name string, seed int64) (*workload.Generator, error) {
-	if rest, ok := strings.CutPrefix(name, "uniform:"); ok {
-		var tokens int
-		if _, err := fmt.Sscanf(rest, "%d", &tokens); err != nil {
-			return nil, fmt.Errorf("bad uniform trace %q", name)
-		}
-		return workload.Uniform(tokens, seed), nil
-	}
-	tr, err := workload.ByName(name)
-	if err != nil {
-		return nil, err
-	}
-	return workload.NewGenerator(tr, seed), nil
 }
 
 func printSingle(cfg core.Config, rep *core.Report, tcp, dcs, dpa bool) {

@@ -214,6 +214,11 @@ type admitter struct {
 	kvHeads    int
 	pending    []workload.Request
 	active     []workload.Request
+	// horizon is the token count a request must be able to reach without
+	// eviction, used for headroom-aware admission. The batch simulator
+	// grows every request through the decode window; the serving engine
+	// grows each request to its own generation length.
+	horizon func(workload.Request) int
 }
 
 // newAdmitter builds the allocator and admission bookkeeping.
@@ -238,6 +243,13 @@ func (s *System) newAdmitter(reqs []workload.Request) (*admitter, error) {
 		alloc = a
 	}
 	ad := &admitter{sys: s, alloc: alloc, headNeed: make(map[int]int64), pending: reqs}
+	ad.horizon = func(r workload.Request) int {
+		need := r.Context + s.cfg.DecodeWindow
+		if need > s.tmax() {
+			need = s.tmax()
+		}
+		return need
+	}
 	// Head-first placement additionally binds each (request, KV head) tile
 	// to one channel's capacity; TCP's token slices are spread over all
 	// channels and never hit this bound.
@@ -258,12 +270,9 @@ func (a *admitter) fill() {
 		if s.cfg.MaxBatch > 0 && len(a.active) >= s.cfg.MaxBatch {
 			return
 		}
-		// Headroom: a request must be able to grow through the decode
-		// window without eviction.
-		need := r.Context + s.cfg.DecodeWindow
-		if need > s.tmax() {
-			need = s.tmax()
-		}
+		// Headroom: a request must be able to grow to its horizon
+		// without eviction.
+		need := a.horizon(r)
 		if !a.alloc.CanAdmit(need) {
 			return
 		}
@@ -559,6 +568,72 @@ func (s *System) stageTime(reqs []workload.Request, tokensOf func(workload.Reque
 	return stage, at, attnShare, nil
 }
 
+// iterate evaluates one decode iteration for a batch: the iteration time
+// in seconds, the attention stats merged across the per-request stage
+// evaluations (cycles and busy sum over PP micro-batches), and the
+// attention share of iteration time. Both the batch simulator (RunCtx)
+// and the serving engine (Engine.Step) price their iterations here.
+func (s *System) iterate(ctx context.Context, batch []workload.Request, tokensOf func(workload.Request) int) (float64, attnStats, float64, error) {
+	if s.cfg.PP == 1 {
+		return s.stageTime(batch, tokensOf)
+	}
+	// Request-granular micro-batches through PP stages: sum of
+	// per-request stage times + (PP-1) bubbles of the max. The
+	// per-request evaluations are independent (the perfmodel cache
+	// is internally locked), so they fan out through the sweep
+	// engine; the ordered reduction below accumulates floats in
+	// request order, keeping the result identical to the
+	// sequential loop.
+	type stageOut struct {
+		sec   float64
+		stats attnStats
+		share float64
+	}
+	evalOne := func(r workload.Request) (stageOut, error) {
+		st, stats1, share1, err := s.stageTime([]workload.Request{r}, tokensOf)
+		return stageOut{st, stats1, share1}, err
+	}
+	var outs []stageOut
+	var err error
+	// Tiny batches are mostly memoized perfmodel hits; spinning a
+	// worker pool per decode step costs more than it saves there
+	// (and this loop already nests under the experiment grid and
+	// stage-ladder sweeps).
+	if len(batch) < 4 {
+		outs = make([]stageOut, len(batch))
+		for i, r := range batch {
+			if outs[i], err = evalOne(r); err != nil {
+				return 0, attnStats{}, 0, err
+			}
+		}
+	} else {
+		if outs, err = sweep.Run(ctx, batch, func(_ context.Context, r workload.Request) (stageOut, error) {
+			return evalOne(r)
+		}); err != nil {
+			return 0, attnStats{}, 0, err
+		}
+	}
+	var stats attnStats
+	var share float64
+	var sum, max float64
+	for _, o := range outs {
+		sum += o.sec
+		if o.sec > max {
+			max = o.sec
+		}
+		stats.busy += o.stats.busy
+		stats.cycles += o.stats.cycles
+		stats.channels = o.stats.channels
+		share += o.share
+		stats.macs += o.stats.macs
+		stats.ioBytes += o.stats.ioBytes
+		stats.actPre += o.stats.actPre
+	}
+	share /= float64(len(batch))
+	iterSec := sum + float64(s.cfg.PP-1)*max
+	return iterSec, stats, share, nil
+}
+
 // Run simulates a decode window over the given candidate requests and
 // reports throughput, utilization and energy.
 func (s *System) Run(reqs []workload.Request) (*Report, error) {
@@ -591,70 +666,13 @@ func (s *System) RunCtx(ctx context.Context, reqs []workload.Request) (*Report, 
 			return nil, err
 		}
 		tokensOf := func(r workload.Request) int { return r.Context + grown[r.ID] }
-		var iterSec float64
-		var stats attnStats
-		var share float64
-		if s.cfg.PP == 1 {
-			iterSec, stats, share, err = s.stageTime(batch, tokensOf)
-			if err != nil {
-				return nil, err
-			}
-			busy += stats.busy
-			span += stats.cycles
-			channels = stats.channels
-		} else {
-			// Request-granular micro-batches through PP stages: sum of
-			// per-request stage times + (PP-1) bubbles of the max. The
-			// per-request evaluations are independent (the perfmodel cache
-			// is internally locked), so they fan out through the sweep
-			// engine; the ordered reduction below accumulates floats in
-			// request order, keeping the result identical to the
-			// sequential loop.
-			type stageOut struct {
-				sec   float64
-				stats attnStats
-				share float64
-			}
-			evalOne := func(r workload.Request) (stageOut, error) {
-				st, stats1, share1, err := s.stageTime([]workload.Request{r}, tokensOf)
-				return stageOut{st, stats1, share1}, err
-			}
-			var outs []stageOut
-			// Tiny batches are mostly memoized perfmodel hits; spinning a
-			// worker pool per decode step costs more than it saves there
-			// (and this loop already nests under the experiment grid and
-			// stage-ladder sweeps).
-			if len(batch) < 4 {
-				outs = make([]stageOut, len(batch))
-				for i, r := range batch {
-					if outs[i], err = evalOne(r); err != nil {
-						return nil, err
-					}
-				}
-			} else {
-				if outs, err = sweep.Run(ctx, batch, func(_ context.Context, r workload.Request) (stageOut, error) {
-					return evalOne(r)
-				}); err != nil {
-					return nil, err
-				}
-			}
-			var sum, max float64
-			for _, o := range outs {
-				sum += o.sec
-				if o.sec > max {
-					max = o.sec
-				}
-				busy += o.stats.busy
-				span += o.stats.cycles
-				channels = o.stats.channels
-				share += o.share
-				stats.macs += o.stats.macs
-				stats.ioBytes += o.stats.ioBytes
-				stats.actPre += o.stats.actPre
-			}
-			share /= float64(len(batch))
-			iterSec = sum + float64(s.cfg.PP-1)*max
+		iterSec, stats, share, err := s.iterate(ctx, batch, tokensOf)
+		if err != nil {
+			return nil, err
 		}
+		busy += stats.busy
+		span += stats.cycles
+		channels = stats.channels
 		totalSec += iterSec
 		attnShareAcc += share
 		generated += len(batch)

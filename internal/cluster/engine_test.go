@@ -1,0 +1,261 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+
+	"pimphony/internal/model"
+	"pimphony/internal/timing"
+	"pimphony/internal/workload"
+)
+
+// engineConfig is a small CENT-style system for engine tests.
+func engineConfig(t *testing.T, tech Technique) Config {
+	t.Helper()
+	m := model.LLM7B32K()
+	return Config{
+		Name:         "engine-test",
+		Kind:         PIMOnly,
+		Dev:          timing.AiM16().WithChannels(32).WithCapacity(16 << 30),
+		Modules:      8,
+		TP:           8,
+		PP:           1,
+		Model:        m,
+		Tech:         tech,
+		DecodeWindow: 4,
+	}
+}
+
+// drain steps the engine to completion, returning all completions in
+// retirement order.
+func drain(t *testing.T, e *Engine) []workload.Request {
+	t.Helper()
+	var done []workload.Request
+	for i := 0; !e.Idle(); i++ {
+		if i > 1_000_000 {
+			t.Fatal("engine did not drain")
+		}
+		res, err := e.Step(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		done = append(done, res.Completed...)
+	}
+	return done
+}
+
+func TestEngineServesAllRequests(t *testing.T) {
+	sys, err := New(engineConfig(t, PIMphony()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sys.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := workload.NewGenerator(workload.QMSum(), 42).Batch(12)
+	want := 0
+	for i := range reqs {
+		reqs[i].Decode = 3 + i%4
+		want += reqs[i].Decode
+		if err := e.Enqueue(reqs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := drain(t, e)
+	if len(done) != len(reqs) {
+		t.Fatalf("completed %d of %d requests", len(done), len(reqs))
+	}
+	if e.Generated() != want {
+		t.Errorf("generated %d tokens, want %d", e.Generated(), want)
+	}
+	if e.OutstandingTokens() != 0 {
+		t.Errorf("outstanding %d tokens after drain", e.OutstandingTokens())
+	}
+	if e.BusySeconds() <= 0 || e.Steps() == 0 {
+		t.Errorf("no time accounted: busy=%g steps=%d", e.BusySeconds(), e.Steps())
+	}
+	if u := e.Utilization(); u <= 0 || u > 1 {
+		t.Errorf("utilization %g out of (0,1]", u)
+	}
+}
+
+// TestEngineStepEvents checks the per-step event stream: admissions on
+// the step that first decodes a request, one generated token per active
+// request, completions exactly at each request's generation length.
+func TestEngineStepEvents(t *testing.T) {
+	sys, err := New(engineConfig(t, PIMphony()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sys.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Enqueue(workload.Request{ID: 1, Context: 4096, Decode: 2}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Step(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Admitted) != 1 || res.Admitted[0].ID != 1 {
+		t.Fatalf("step 1 admitted %v", res.Admitted)
+	}
+	if len(res.Generated) != 1 || len(res.Completed) != 0 || res.Batch != 1 {
+		t.Fatalf("step 1: %+v", res)
+	}
+	if res.Seconds <= 0 {
+		t.Fatal("step 1 took no time")
+	}
+	// Mid-flight arrival joins at the next step boundary.
+	if err := e.Enqueue(workload.Request{ID: 2, Context: 4096, Decode: 1}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = e.Step(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Admitted) != 1 || res.Admitted[0].ID != 2 || res.Batch != 2 {
+		t.Fatalf("step 2: %+v", res)
+	}
+	// Request 1 finishes its 2 tokens, request 2 its single token.
+	if len(res.Completed) != 2 {
+		t.Fatalf("step 2 completed %v", res.Completed)
+	}
+	if !e.Idle() {
+		t.Fatal("engine should be idle")
+	}
+	// Idle steps are free and report nothing.
+	res, err = e.Step(context.Background())
+	if err != nil || res.Seconds != 0 || res.Batch != 0 {
+		t.Fatalf("idle step: %+v, %v", res, err)
+	}
+}
+
+func TestEngineEnqueueErrors(t *testing.T) {
+	sys, err := New(engineConfig(t, PIMphony()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sys.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Enqueue(workload.Request{ID: 1, Context: 1024}); err == nil {
+		t.Error("zero Decode should be rejected")
+	}
+	if err := e.Enqueue(workload.Request{ID: 1, Context: 1024, Decode: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Enqueue(workload.Request{ID: 1, Context: 2048, Decode: 4}); err == nil {
+		t.Error("duplicate ID should be rejected")
+	}
+	// A context at (or past) T_max can never emit a token.
+	window := engineConfig(t, PIMphony()).Model.ContextWindow
+	if err := e.Enqueue(workload.Request{ID: 2, Context: window, Decode: 4}); err == nil {
+		t.Error("context at T_max should be rejected at enqueue")
+	}
+}
+
+// TestEngineTruncatesAtTMax: under static allocation a request whose
+// Context+Decode overruns T_max must not freeze forever — generation is
+// truncated at the window and the request retires with the tokens it
+// actually produced.
+func TestEngineTruncatesAtTMax(t *testing.T) {
+	cfg := engineConfig(t, Technique{}) // static T_max reservation
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sys.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmax := cfg.Model.ContextWindow
+	req := workload.Request{ID: 1, Context: tmax - 2, Decode: 8}
+	if err := e.Enqueue(req); err != nil {
+		t.Fatal(err)
+	}
+	done := drain(t, e)
+	if len(done) != 1 || done[0].ID != 1 {
+		t.Fatalf("truncated request did not retire: %v", done)
+	}
+	if e.Generated() != 2 {
+		t.Errorf("generated %d tokens, want 2 (truncated at T_max)", e.Generated())
+	}
+}
+
+func TestEngineRejectsGPUAndOversized(t *testing.T) {
+	gpu := Config{Name: "gpu", Kind: GPUSystem, Model: model.LLM7B32K(), GPUs: 2, DecodeWindow: 4}
+	sys, err := New(gpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.NewEngine(); err == nil {
+		t.Error("GPU systems should not build a serving engine")
+	}
+
+	// A request that fits the context window but not the KV pool can
+	// never be admitted: the engine must surface the stuck head-of-queue
+	// instead of spinning idle. 8x2 GiB modules leave ~2.5 GiB of pool
+	// after the 7B weights — under static T_max reservation (~16 GiB per
+	// request at the 32K window) nothing fits.
+	cfg := engineConfig(t, Technique{}) // static T_max reservation
+	cfg.Dev = cfg.Dev.WithCapacity(2 << 30)
+	sys, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sys.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := workload.Request{ID: 9, Context: 8192, Decode: 4}
+	if err := e.Enqueue(big); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Step(context.Background()); err == nil {
+		t.Error("un-admittable head of queue should error")
+	}
+}
+
+// TestEngineMatchesRunThroughput cross-checks the engine against the
+// batch simulator: serving one request is priced by the same iteration
+// model, so total time over its decode length must match a Run of the
+// same request with ContinuousBatching (which retires it at the same
+// point).
+func TestEngineMatchesRunThroughput(t *testing.T) {
+	cfg := engineConfig(t, PIMphony())
+	cfg.ContinuousBatching = true
+	cfg.DecodeWindow = 8
+	req := workload.Request{ID: 0, Context: 8192, Decode: 5}
+
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Run([]workload.Request{req})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sys2.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Enqueue(req); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, e)
+	if e.Steps() != rep.Steps {
+		t.Fatalf("engine ran %d steps, Run ran %d", e.Steps(), rep.Steps)
+	}
+	if diff := e.BusySeconds() - rep.TotalSeconds; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("engine time %g vs Run time %g", e.BusySeconds(), rep.TotalSeconds)
+	}
+}

@@ -4,7 +4,10 @@
 // FLOP counts and compute intensity (the paper's Fig. 2 motivation).
 package model
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Config is one LLM configuration (Table I).
 type Config struct {
@@ -44,6 +47,23 @@ func LLM72B128KGQA() Config {
 // All returns the four evaluated models in the paper's order.
 func All() []Config {
 	return []Config{LLM7B32K(), LLM72B32K(), LLM7B128KGQA(), LLM72B128KGQA()}
+}
+
+// ByFlag finds a Table I model by the short name the CLI binaries share
+// ("7b-32k", "7b-128k-gqa", "72b-32k", "72b-128k-gqa"; case-insensitive).
+func ByFlag(name string) (Config, error) {
+	switch strings.ToLower(name) {
+	case "7b-32k":
+		return LLM7B32K(), nil
+	case "7b-128k-gqa":
+		return LLM7B128KGQA(), nil
+	case "72b-32k":
+		return LLM72B32K(), nil
+	case "72b-128k-gqa":
+		return LLM72B128KGQA(), nil
+	default:
+		return Config{}, fmt.Errorf("unknown model %q (7b-32k, 7b-128k-gqa, 72b-32k, 72b-128k-gqa)", name)
+	}
 }
 
 // Validate reports configuration inconsistencies.

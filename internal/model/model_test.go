@@ -13,6 +13,24 @@ func TestAllConfigsValidate(t *testing.T) {
 	}
 }
 
+func TestByFlag(t *testing.T) {
+	cases := map[string]string{
+		"7b-32k":       "LLM-7B-32K",
+		"7B-128K-GQA":  "LLM-7B-128K-GQA", // case-insensitive
+		"72b-32k":      "LLM-72B-32K",
+		"72b-128k-gqa": "LLM-72B-128K-GQA",
+	}
+	for flag, want := range cases {
+		c, err := ByFlag(flag)
+		if err != nil || c.Name != want {
+			t.Errorf("ByFlag(%s) = %s, %v; want %s", flag, c.Name, err, want)
+		}
+	}
+	if _, err := ByFlag("13b"); err == nil {
+		t.Error("unknown model flag should error")
+	}
+}
+
 func TestValidateCatchesBadConfigs(t *testing.T) {
 	c := LLM7B32K()
 	c.DIn = 1000 // != Heads*HeadDim

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+
+	"pimphony/internal/cluster"
+	"pimphony/internal/sweep"
+	"pimphony/internal/tablefmt"
+	"pimphony/internal/workload"
+)
+
+// CurvePoint is one cell of a latency–throughput sweep: a load-balancing
+// policy serving a Poisson (or replayed) arrival schedule at the given
+// rate across a replica count.
+type CurvePoint struct {
+	Policy   string  // a PolicyNames() entry
+	Replicas int     // decode engines behind the load balancer
+	Rate     float64 // offered arrival rate in requests/second
+}
+
+// CurveTable evaluates every sweep point — each an independent serving
+// simulation — through the parallel sweep engine and renders the
+// latency–throughput table: goodput and SLO attainment next to
+// p50/p95/p99 TTFT and TBT (milliseconds). mkArrivals builds the
+// arrival schedule for a rate and must be deterministic, so the table
+// is byte-identical at any sweep parallelism. The cmd/pimphony-serve
+// CLI and the "serve" experiment driver both render through here.
+func CurveTable(ctx context.Context, title string, sys cluster.Config, pts []CurvePoint, slo SLO,
+	includePrefill bool, mkArrivals func(rate float64) ([]workload.Arrival, error),
+	opts ...sweep.Option) (*tablefmt.Table, error) {
+	t := tablefmt.New(title,
+		"policy", "repl", "req/s", "tok/s", "goodput", "slo-met%",
+		"ttft-p50", "ttft-p95", "ttft-p99", "tbt-p50", "tbt-p95", "tbt-p99")
+	rows, err := sweep.Rows(ctx, pts, func(ctx context.Context, p CurvePoint) ([]any, error) {
+		pol, err := PolicyByName(p.Policy)
+		if err != nil {
+			return nil, err
+		}
+		arr, err := mkArrivals(p.Rate)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := Run(ctx, Config{
+			System:         sys,
+			Replicas:       p.Replicas,
+			Policy:         pol,
+			SLO:            slo,
+			IncludePrefill: includePrefill,
+		}, arr)
+		if err != nil {
+			return nil, fmt.Errorf("%s x%d @ %g req/s: %w", p.Policy, p.Replicas, p.Rate, err)
+		}
+		ms := func(v float64) float64 { return 1e3 * v }
+		return []any{p.Policy, p.Replicas, p.Rate, rep.Throughput, rep.Goodput, 100 * rep.SLOMet,
+			ms(rep.TTFT.P50), ms(rep.TTFT.P95), ms(rep.TTFT.P99),
+			ms(rep.TBT.P50), ms(rep.TBT.P95), ms(rep.TBT.P99)}, nil
+	}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		t.AddRow(r...)
+	}
+	return t, nil
+}

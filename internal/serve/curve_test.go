@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"pimphony/internal/sweep"
+	"pimphony/internal/workload"
+)
+
+func curvePoints() []CurvePoint {
+	return []CurvePoint{
+		{Policy: "round-robin", Replicas: 1, Rate: 50},
+		{Policy: "round-robin", Replicas: 2, Rate: 50},
+		{Policy: "least-tokens", Replicas: 1, Rate: 50},
+		{Policy: "least-tokens", Replicas: 2, Rate: 50},
+		{Policy: "session", Replicas: 2, Rate: 100},
+	}
+}
+
+func curveArrivals(rate float64) ([]workload.Arrival, error) {
+	gen := workload.NewGenerator(workload.QMSum(), 42)
+	gen.DecodeLen = 6
+	return workload.PoissonArrivals(gen, rate, 8, 16, 7)
+}
+
+// TestCurveTableParallelEquivalence is the serving counterpart of the
+// experiment drivers' determinism contract: the rendered
+// latency–throughput table must be byte-identical whether the sweep
+// points run sequentially or on eight workers.
+func TestCurveTableParallelEquivalence(t *testing.T) {
+	slo := SLO{TTFT: 0.1, TBT: 0.025}
+	seq, err := CurveTable(context.Background(), "curve", testSystem(), curvePoints(), slo, false,
+		curveArrivals, sweep.Parallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := CurveTable(context.Background(), "curve", testSystem(), curvePoints(), slo, false,
+		curveArrivals, sweep.Parallelism(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Errorf("parallel table diverges from sequential:\n--- sequential ---\n%s--- parallel ---\n%s",
+			seq.String(), par.String())
+	}
+	if len(seq.Rows) != len(curvePoints()) {
+		t.Fatalf("table has %d rows for %d points", len(seq.Rows), len(curvePoints()))
+	}
+}
+
+func TestCurveTableErrors(t *testing.T) {
+	bad := []CurvePoint{{Policy: "nope", Replicas: 1, Rate: 10}}
+	if _, err := CurveTable(context.Background(), "curve", testSystem(), bad, SLO{}, false, curveArrivals); err == nil {
+		t.Error("unknown policy should error")
+	}
+}

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"pimphony/internal/workload"
+)
+
+// Load is one replica's queue state at a routing decision, as a policy
+// sees it.
+type Load struct {
+	// OutstandingTokens is the decode work still owed by the replica:
+	// remaining generation tokens of active requests plus the full
+	// generation length of pending ones.
+	OutstandingTokens int
+	// Active and Pending are the replica's admitted and queued request
+	// counts.
+	Active, Pending int
+	// Clock is the replica's simulated time (it can run ahead of the
+	// arrival being routed by up to one decode iteration).
+	Clock float64
+}
+
+// Policy routes one arrival to a replica index. Policies may keep state
+// (round-robin does), so each simulation needs its own instance.
+type Policy interface {
+	Name() string
+	Pick(a workload.Arrival, loads []Load) int
+}
+
+// RoundRobin cycles through replicas in arrival order, the baseline
+// load-oblivious policy.
+func RoundRobin() Policy { return &roundRobin{} }
+
+type roundRobin struct{ next int }
+
+func (p *roundRobin) Name() string { return "round-robin" }
+
+func (p *roundRobin) Pick(_ workload.Arrival, loads []Load) int {
+	i := p.next % len(loads)
+	p.next++
+	return i
+}
+
+// LeastOutstandingTokens routes to the replica owing the fewest decode
+// tokens (ties break to the lowest index), the serving analogue of
+// least-outstanding-requests that weights long generations more.
+func LeastOutstandingTokens() Policy { return leastTokens{} }
+
+type leastTokens struct{}
+
+func (leastTokens) Name() string { return "least-tokens" }
+
+func (leastTokens) Pick(_ workload.Arrival, loads []Load) int {
+	best := 0
+	for i, l := range loads {
+		if l.OutstandingTokens < loads[best].OutstandingTokens {
+			best = i
+		}
+	}
+	return best
+}
+
+// SessionAffinity hashes the arrival's session key to a replica, so all
+// requests of one conversation land on the same engine (where a KV-prefix
+// cache would make their contexts cheap to re-admit).
+func SessionAffinity() Policy { return sessionAffinity{} }
+
+type sessionAffinity struct{}
+
+func (sessionAffinity) Name() string { return "session" }
+
+func (sessionAffinity) Pick(a workload.Arrival, loads []Load) int {
+	h := fnv.New32a()
+	var buf [8]byte
+	v := uint64(a.Session)
+	for i := range buf {
+		buf[i] = byte(v >> (8 * i))
+	}
+	h.Write(buf[:])
+	return int(h.Sum32() % uint32(len(loads)))
+}
+
+// PolicyByName builds a fresh policy instance from its CLI name.
+func PolicyByName(name string) (Policy, error) {
+	switch name {
+	case "round-robin":
+		return RoundRobin(), nil
+	case "least-tokens":
+		return LeastOutstandingTokens(), nil
+	case "session":
+		return SessionAffinity(), nil
+	default:
+		return nil, fmt.Errorf("serve: unknown policy %q (known: %v)", name, PolicyNames())
+	}
+}
+
+// PolicyNames lists the selectable policies in CLI order.
+func PolicyNames() []string { return []string{"round-robin", "least-tokens", "session"} }

@@ -1,0 +1,343 @@
+// Package serve is the online serving simulator: it feeds a timed
+// arrival stream (internal/workload's Poisson or trace-replay schedules)
+// into one or more continuous-batching decode replicas (cluster.Engine),
+// routes each arrival through a pluggable load-balancing policy, and
+// reports the SLO metrics a serving system is judged on — TTFT, TBT and
+// end-to-end latency at p50/p95/p99, plus goodput (decode tokens per
+// second from requests that met the SLO).
+//
+// The simulation is event-driven at iteration granularity: each replica
+// advances its own clock by the duration of its decode iterations, and
+// an arrival is routed only after every replica has simulated up to the
+// arrival time, so load-aware policies observe the queue state a real
+// load balancer would. Everything is deterministic — same arrival
+// schedule, same configuration, same report — which is what lets the
+// latency–throughput tables in CI be byte-identical at any sweep
+// parallelism.
+//
+// Metric definitions (all per request, in seconds):
+//
+//   - TTFT (time to first token): from arrival to the end of the first
+//     decode iteration that includes the request, i.e. queueing delay +
+//     one iteration; with Config.IncludePrefill it also adds the prompt
+//     prefill time on the system's dense engine.
+//   - TBT (time between tokens): the request's mean gap between
+//     subsequent tokens, (completion - first token) / (tokens - 1),
+//     over the tokens actually generated (a request whose KV cache hits
+//     the context window is truncated, like a real serving system).
+//   - E2E: from arrival to completion of the last token.
+//   - Goodput: decode tokens of SLO-compliant requests / makespan,
+//     where makespan runs from the first arrival to the last completion.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"pimphony/internal/cluster"
+	"pimphony/internal/workload"
+)
+
+// SLO is the latency target a request must meet to count toward
+// goodput. Zero fields are not enforced.
+type SLO struct {
+	TTFT float64 // seconds from arrival to first token
+	TBT  float64 // seconds between subsequent tokens (per-request mean)
+}
+
+// Met reports whether a request's latencies satisfy the SLO.
+func (s SLO) Met(ttft, tbt float64) bool {
+	if s.TTFT > 0 && ttft > s.TTFT {
+		return false
+	}
+	if s.TBT > 0 && tbt > s.TBT {
+		return false
+	}
+	return true
+}
+
+// Config describes one serving simulation.
+type Config struct {
+	// System is the replica template; every replica is an independent
+	// cluster.System built from it. GPU systems are not servable (see
+	// cluster.System.NewEngine).
+	System cluster.Config
+	// Replicas is the number of identical decode engines behind the
+	// load balancer (>= 1).
+	Replicas int
+	// Policy routes arrivals to replicas. Each Run needs a fresh
+	// instance (policies may keep state).
+	Policy Policy
+	// SLO classifies completed requests for the goodput metric.
+	SLO SLO
+	// IncludePrefill adds each request's prompt-processing time on the
+	// system's dense engine (cluster.System.PrefillSeconds) to its TTFT
+	// and E2E. The prefill is modelled as offloaded — it delays the
+	// request's tokens but does not occupy the decode engine, the
+	// disaggregation NeuPIMs and Hybe argue for.
+	IncludePrefill bool
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	switch {
+	case c.Replicas <= 0:
+		return fmt.Errorf("serve: Replicas must be positive, got %d", c.Replicas)
+	case c.Policy == nil:
+		return fmt.Errorf("serve: Policy is required")
+	}
+	return nil
+}
+
+// Quantiles summarises one latency distribution.
+type Quantiles struct {
+	Mean, P50, P95, P99 float64
+}
+
+// quantiles computes nearest-rank percentiles over a sample.
+func quantiles(xs []float64) Quantiles {
+	if len(xs) == 0 {
+		return Quantiles{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	var sum float64
+	for _, x := range s {
+		sum += x
+	}
+	rank := func(p float64) float64 {
+		i := int(math.Ceil(p*float64(len(s)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return s[i]
+	}
+	return Quantiles{Mean: sum / float64(len(s)), P50: rank(0.50), P95: rank(0.95), P99: rank(0.99)}
+}
+
+// ReplicaStats is one replica's share of the work.
+type ReplicaStats struct {
+	Requests    int
+	Tokens      int
+	Steps       int
+	BusySeconds float64
+	// Utilization is the replica's PIM MAC utilization over its
+	// attention phases.
+	Utilization float64
+}
+
+// Report is the outcome of one serving simulation.
+type Report struct {
+	Policy   string
+	Replicas int
+	// Requests is the number of requests served to completion (every
+	// arrival, unless the simulation errored).
+	Requests int
+	// OfferedRate is the arrival schedule's empirical requests/second.
+	OfferedRate float64
+	// MakespanSeconds runs from the first arrival to the last
+	// completion.
+	MakespanSeconds float64
+	// Throughput is decode tokens per second of makespan.
+	Throughput float64
+	// Goodput is decode tokens per second of makespan produced by
+	// SLO-compliant requests (the LoL-PIM-style serving metric).
+	Goodput float64
+	// SLOMet is the fraction of requests that met the SLO.
+	SLOMet float64
+	// Latency distributions across completed requests.
+	TTFT, TBT, E2E Quantiles
+	// PerReplica breaks the work down by replica.
+	PerReplica []ReplicaStats
+}
+
+// record tracks one request's lifecycle timestamps.
+type record struct {
+	req     workload.Request
+	arrival float64
+	first   float64 // end of the iteration that produced token 1
+	done    float64 // end of the iteration that produced the last token
+	tokens  int     // tokens actually generated (Decode, unless truncated at T_max)
+	replica int
+	prefill float64
+}
+
+// replica is one decode engine plus its private clock.
+type replica struct {
+	sys   *cluster.System
+	eng   *cluster.Engine
+	clock float64
+}
+
+// sim is the in-flight simulation state.
+type sim struct {
+	cfg      Config
+	replicas []*replica
+	recs     map[int]*record
+}
+
+// step runs one decode iteration on a replica and stamps the resulting
+// events with the replica's clock.
+func (s *sim) step(ctx context.Context, r *replica) error {
+	res, err := r.eng.Step(ctx)
+	if err != nil {
+		return err
+	}
+	if res.Batch == 0 {
+		return nil // idle; the caller advances the clock to the next event
+	}
+	end := r.clock + res.Seconds
+	for _, id := range res.Generated {
+		rec := s.recs[id]
+		rec.tokens++
+		if rec.first == 0 {
+			rec.first = end
+		}
+	}
+	for _, q := range res.Completed {
+		s.recs[q.ID].done = end
+	}
+	r.clock = end
+	return nil
+}
+
+// advance simulates a replica up to time t (or through its current work
+// if it empties earlier); an idle replica's clock jumps to t.
+func (s *sim) advance(ctx context.Context, r *replica, t float64) error {
+	for r.clock < t && !r.eng.Idle() {
+		if err := s.step(ctx, r); err != nil {
+			return err
+		}
+	}
+	if r.eng.Idle() && r.clock < t {
+		r.clock = t
+	}
+	return nil
+}
+
+// Run serves a timed arrival schedule to completion and reports the SLO
+// metrics. Arrivals must be sorted by At with unique request IDs; every
+// request needs a positive Decode length.
+func Run(ctx context.Context, cfg Config, arrivals []workload.Arrival) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(arrivals) == 0 {
+		return nil, fmt.Errorf("serve: empty arrival schedule")
+	}
+	s := &sim{cfg: cfg, recs: make(map[int]*record, len(arrivals))}
+	for i := 0; i < cfg.Replicas; i++ {
+		sys, err := cluster.New(cfg.System)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := sys.NewEngine()
+		if err != nil {
+			return nil, err
+		}
+		s.replicas = append(s.replicas, &replica{sys: sys, eng: eng})
+	}
+	// Route arrivals in time order: advance every replica to the arrival
+	// time first, so load-aware policies observe the live queue state.
+	for i, a := range arrivals {
+		if i > 0 && a.At < arrivals[i-1].At {
+			return nil, fmt.Errorf("serve: arrivals not sorted at %d (%g after %g)", i, a.At, arrivals[i-1].At)
+		}
+		if _, dup := s.recs[a.Req.ID]; dup {
+			return nil, fmt.Errorf("serve: duplicate request ID %d in schedule", a.Req.ID)
+		}
+		for _, r := range s.replicas {
+			if err := s.advance(ctx, r, a.At); err != nil {
+				return nil, err
+			}
+		}
+		loads := make([]Load, len(s.replicas))
+		for j, r := range s.replicas {
+			loads[j] = Load{
+				OutstandingTokens: r.eng.OutstandingTokens(),
+				Active:            r.eng.Active(),
+				Pending:           r.eng.Pending(),
+				Clock:             r.clock,
+			}
+		}
+		idx := cfg.Policy.Pick(a, loads)
+		if idx < 0 || idx >= len(s.replicas) {
+			return nil, fmt.Errorf("serve: policy %s routed to replica %d of %d", cfg.Policy.Name(), idx, len(s.replicas))
+		}
+		rec := &record{req: a.Req, arrival: a.At, replica: idx}
+		if cfg.IncludePrefill {
+			rec.prefill = s.replicas[idx].sys.PrefillSeconds(a.Req.Context)
+		}
+		s.recs[a.Req.ID] = rec
+		if err := s.replicas[idx].eng.Enqueue(a.Req); err != nil {
+			return nil, err
+		}
+	}
+	// Drain every replica.
+	for _, r := range s.replicas {
+		if err := s.advance(ctx, r, math.Inf(1)); err != nil {
+			return nil, err
+		}
+	}
+	return s.report(arrivals)
+}
+
+// report folds the per-request records into the SLO metrics.
+func (s *sim) report(arrivals []workload.Arrival) (*Report, error) {
+	rep := &Report{
+		Policy:      s.cfg.Policy.Name(),
+		Replicas:    len(s.replicas),
+		Requests:    len(s.recs),
+		OfferedRate: workload.OfferedRate(arrivals),
+		PerReplica:  make([]ReplicaStats, len(s.replicas)),
+	}
+	firstArrival := arrivals[0].At
+	var lastDone float64
+	var ttfts, tbts, e2es []float64
+	var goodTokens, allTokens int
+	met := 0
+	// Iterate in arrival order for deterministic accumulation.
+	for _, a := range arrivals {
+		rec := s.recs[a.Req.ID]
+		if rec.done == 0 {
+			return nil, fmt.Errorf("serve: request %d never completed", a.Req.ID)
+		}
+		ttft := rec.first - rec.arrival + rec.prefill
+		var tbt float64
+		if rec.tokens > 1 {
+			tbt = (rec.done - rec.first) / float64(rec.tokens-1)
+		}
+		e2e := rec.done - rec.arrival + rec.prefill
+		ttfts = append(ttfts, ttft)
+		tbts = append(tbts, tbt)
+		e2es = append(e2es, e2e)
+		allTokens += rec.tokens
+		if s.cfg.SLO.Met(ttft, tbt) {
+			met++
+			goodTokens += rec.tokens
+		}
+		if rec.done+rec.prefill > lastDone {
+			lastDone = rec.done + rec.prefill
+		}
+		st := &rep.PerReplica[rec.replica]
+		st.Requests++
+		st.Tokens += rec.tokens
+	}
+	for i, r := range s.replicas {
+		rep.PerReplica[i].Steps = r.eng.Steps()
+		rep.PerReplica[i].BusySeconds = r.eng.BusySeconds()
+		rep.PerReplica[i].Utilization = r.eng.Utilization()
+	}
+	rep.MakespanSeconds = lastDone - firstArrival
+	if rep.MakespanSeconds > 0 {
+		rep.Throughput = float64(allTokens) / rep.MakespanSeconds
+		rep.Goodput = float64(goodTokens) / rep.MakespanSeconds
+	}
+	rep.SLOMet = float64(met) / float64(len(s.recs))
+	rep.TTFT = quantiles(ttfts)
+	rep.TBT = quantiles(tbts)
+	rep.E2E = quantiles(e2es)
+	return rep, nil
+}

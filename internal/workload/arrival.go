@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Arrival is one request tagged with its arrival time in an online
+// serving trace. The batch simulators (cluster.System.Run) ignore time;
+// the serving simulator (internal/serve) admits requests only once the
+// simulated clock reaches At.
+type Arrival struct {
+	Req Request
+	// At is the arrival time in seconds since the start of the trace.
+	At float64
+	// Session groups requests that belong to one conversation; the
+	// session-affinity load-balancing policy routes all requests of a
+	// session to the same replica (their KV prefixes could be reused).
+	Session int
+}
+
+// PoissonArrivals samples n arrivals from a Poisson process with the
+// given rate (requests per second): inter-arrival gaps are exponential
+// with mean 1/rate, request sizes come from gen, and each request is
+// assigned to one of `sessions` session keys uniformly at random. The
+// whole schedule is driven by a deterministic RNG derived from seed, so
+// the same (gen seed, rate, sessions, n, seed) tuple always yields the
+// same schedule — latency tables built from it are reproducible in CI.
+func PoissonArrivals(gen *Generator, rate float64, sessions, n int, seed int64) ([]Arrival, error) {
+	switch {
+	case gen == nil:
+		return nil, fmt.Errorf("workload: PoissonArrivals needs a generator")
+	case rate <= 0:
+		return nil, fmt.Errorf("workload: arrival rate must be positive, got %g", rate)
+	case sessions <= 0:
+		return nil, fmt.Errorf("workload: session count must be positive, got %d", sessions)
+	case n < 0:
+		return nil, fmt.Errorf("workload: arrival count must be non-negative, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	arr := make([]Arrival, n)
+	clock := 0.0
+	for i := range arr {
+		clock += rng.ExpFloat64() / rate
+		arr[i] = Arrival{Req: gen.Next(), At: clock, Session: rng.Intn(sessions)}
+	}
+	return arr, nil
+}
+
+// ReplayArrivals pairs an explicit timestamp schedule with requests,
+// replaying a recorded production trace: times[i] is when reqs[i]
+// arrives. Times must be non-negative and non-decreasing. Each request
+// keeps its own session (Session = Req.ID); callers replaying real
+// conversation traces can overwrite Session afterwards.
+func ReplayArrivals(times []float64, reqs []Request) ([]Arrival, error) {
+	if len(times) != len(reqs) {
+		return nil, fmt.Errorf("workload: replay schedule has %d times for %d requests", len(times), len(reqs))
+	}
+	arr := make([]Arrival, len(reqs))
+	for i := range reqs {
+		switch {
+		case times[i] < 0:
+			return nil, fmt.Errorf("workload: replay time %d is negative (%g)", i, times[i])
+		case i > 0 && times[i] < times[i-1]:
+			return nil, fmt.Errorf("workload: replay times not sorted at %d (%g after %g)", i, times[i], times[i-1])
+		}
+		arr[i] = Arrival{Req: reqs[i], At: times[i], Session: reqs[i].ID}
+	}
+	return arr, nil
+}
+
+// OfferedRate is the empirical arrival rate of a schedule: requests per
+// second over the span from time zero to the last arrival. It is the
+// serving simulator's x-axis when plotting latency–throughput curves.
+func OfferedRate(arr []Arrival) float64 {
+	if len(arr) == 0 {
+		return 0
+	}
+	last := arr[len(arr)-1].At
+	if last <= 0 {
+		return 0
+	}
+	return float64(len(arr)) / last
+}

@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestPoissonDeterminism is the reproducibility contract of the serving
+// tables: the same seed must yield the same schedule (sizes, times and
+// sessions), and a different seed must not.
+func TestPoissonDeterminism(t *testing.T) {
+	mk := func(genSeed, arrSeed int64) []Arrival {
+		arr, err := PoissonArrivals(NewGenerator(QMSum(), genSeed), 4, 8, 100, arrSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return arr
+	}
+	a, b := mk(7, 11), mk(7, 11)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seeds diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := mk(7, 12)
+	same := true
+	for i := range a {
+		if a[i].At != c[i].At {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different arrival seeds produced identical schedules")
+	}
+}
+
+func TestPoissonSchedule(t *testing.T) {
+	const rate, n = 8.0, 4000
+	arr, err := PoissonArrivals(NewGenerator(Musique(), 1), rate, 4, n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr) != n {
+		t.Fatalf("got %d arrivals, want %d", len(arr), n)
+	}
+	prev := 0.0
+	for i, a := range arr {
+		if a.At <= prev {
+			t.Fatalf("arrival %d not strictly increasing: %g after %g", i, a.At, prev)
+		}
+		prev = a.At
+		if a.Session < 0 || a.Session >= 4 {
+			t.Fatalf("arrival %d session %d out of range", i, a.Session)
+		}
+		if a.Req.ID != i {
+			t.Fatalf("arrival %d carries request ID %d", i, a.Req.ID)
+		}
+	}
+	// The empirical rate should be close to the configured one.
+	if got := OfferedRate(arr); math.Abs(got-rate)/rate > 0.1 {
+		t.Errorf("offered rate %.2f, want ~%g", got, rate)
+	}
+}
+
+func TestPoissonErrors(t *testing.T) {
+	gen := NewGenerator(QMSum(), 1)
+	cases := []struct {
+		name string
+		run  func() ([]Arrival, error)
+	}{
+		{"nil generator", func() ([]Arrival, error) { return PoissonArrivals(nil, 1, 1, 1, 1) }},
+		{"zero rate", func() ([]Arrival, error) { return PoissonArrivals(gen, 0, 1, 1, 1) }},
+		{"negative rate", func() ([]Arrival, error) { return PoissonArrivals(gen, -2, 1, 1, 1) }},
+		{"zero sessions", func() ([]Arrival, error) { return PoissonArrivals(gen, 1, 0, 1, 1) }},
+		{"negative count", func() ([]Arrival, error) { return PoissonArrivals(gen, 1, 1, -1, 1) }},
+	}
+	for _, c := range cases {
+		if _, err := c.run(); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+	if arr, err := PoissonArrivals(gen, 1, 1, 0, 1); err != nil || len(arr) != 0 {
+		t.Errorf("zero arrivals should be fine: %v, %v", arr, err)
+	}
+}
+
+func TestReplayArrivals(t *testing.T) {
+	reqs := NewGenerator(QMSum(), 3).Batch(3)
+	arr, err := ReplayArrivals([]float64{0, 0.5, 0.5}, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range arr {
+		if a.Req != reqs[i] {
+			t.Fatalf("arrival %d request mismatch", i)
+		}
+		if a.Session != reqs[i].ID {
+			t.Fatalf("arrival %d session %d, want request ID %d", i, a.Session, reqs[i].ID)
+		}
+	}
+	if arr[1].At != 0.5 || arr[2].At != 0.5 {
+		t.Fatalf("equal timestamps must be preserved: %+v", arr)
+	}
+
+	if _, err := ReplayArrivals([]float64{0}, reqs); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := ReplayArrivals([]float64{0, -1, 2}, reqs); err == nil {
+		t.Error("negative time should error")
+	}
+	if _, err := ReplayArrivals([]float64{0, 2, 1}, reqs); err == nil {
+		t.Error("unsorted times should error")
+	}
+}
+
+func TestOfferedRateEdges(t *testing.T) {
+	if r := OfferedRate(nil); r != 0 {
+		t.Errorf("empty schedule rate = %g", r)
+	}
+	if r := OfferedRate([]Arrival{{At: 0}}); r != 0 {
+		t.Errorf("zero-span schedule rate = %g", r)
+	}
+	if r := OfferedRate([]Arrival{{At: 1}, {At: 2}}); r != 1 {
+		t.Errorf("rate = %g, want 1", r)
+	}
+}
+
+// TestByNameAllTraces pins the lookup for every Table II trace and the
+// error path's message content.
+func TestByNameAllTraces(t *testing.T) {
+	for _, want := range All() {
+		got, err := ByName(want.Name)
+		if err != nil {
+			t.Errorf("ByName(%s): %v", want.Name, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ByName(%s) = %+v, want %+v", want.Name, got, want)
+		}
+	}
+	_, err := ByName("qmsum") // lookup is exact, not case-folded
+	if err == nil {
+		t.Fatal("lowercase alias should not resolve")
+	}
+	if !strings.Contains(err.Error(), `"qmsum"`) {
+		t.Errorf("error should quote the unknown name: %v", err)
+	}
+}
+
+func TestGeneratorByFlag(t *testing.T) {
+	g, err := GeneratorByFlag("QMSum", 1)
+	if err != nil || g.Trace().Name != "QMSum" {
+		t.Fatalf("GeneratorByFlag(QMSum) = %v, %v", g, err)
+	}
+	g, err = GeneratorByFlag("uniform:4096", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := g.Next(); r.Context != 4096 {
+		t.Errorf("uniform:4096 produced %d", r.Context)
+	}
+	for _, bad := range []string{"nope", "uniform:", "uniform:x", "uniform:-3", "uniform:0"} {
+		if _, err := GeneratorByFlag(bad, 1); err == nil {
+			t.Errorf("%q should error", bad)
+		}
+	}
+}
+
+func TestSummarizeSingleAndEven(t *testing.T) {
+	one := Summarize([]Request{{Context: 42}})
+	if one.Mean != 42 || one.Std != 0 || one.Min != 42 || one.Max != 42 || one.Median != 42 || one.N != 1 {
+		t.Errorf("single-request summary wrong: %+v", one)
+	}
+	// Even count: Median is the upper of the two middle values
+	// (nearest-rank at index n/2 of the sorted sample).
+	even := Summarize([]Request{{Context: 10}, {Context: 20}, {Context: 30}, {Context: 40}})
+	if even.Median != 30 {
+		t.Errorf("even-count median = %d, want 30", even.Median)
+	}
+	if even.Mean != 25 || even.Min != 10 || even.Max != 40 || even.N != 4 {
+		t.Errorf("even-count summary wrong: %+v", even)
+	}
+}

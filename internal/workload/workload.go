@@ -11,6 +11,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 // Trace names the four evaluated benchmarks.
@@ -51,6 +53,24 @@ func ByName(name string) (Trace, error) {
 		}
 	}
 	return Trace{}, fmt.Errorf("workload: unknown trace %q", name)
+}
+
+// GeneratorByFlag builds a generator from the trace argument the CLI
+// binaries share: a Table II trace name (ByName) or "uniform:<tokens>"
+// for a fixed-length microbenchmark workload.
+func GeneratorByFlag(name string, seed int64) (*Generator, error) {
+	if rest, ok := strings.CutPrefix(name, "uniform:"); ok {
+		tokens, err := strconv.Atoi(rest)
+		if err != nil || tokens <= 0 {
+			return nil, fmt.Errorf("workload: bad uniform trace %q (want uniform:<tokens>)", name)
+		}
+		return Uniform(tokens, seed), nil
+	}
+	tr, err := ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return NewGenerator(tr, seed), nil
 }
 
 // Validate reports inconsistent statistics.
