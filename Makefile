@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all fmt fmt-check vet build examples test test-short bench ci
+.PHONY: all fmt fmt-check vet staticcheck build examples test test-short bench bench-check bench-baseline ci
 
 all: build
 
@@ -20,6 +20,16 @@ fmt-check:
 
 vet:
 	$(GO) vet ./...
+
+# CI pins staticcheck@2025.1.1; locally the gate runs when the tool is
+# installed (go install honnef.co/go/tools/cmd/staticcheck@2025.1.1)
+# and is skipped with a warning otherwise.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs the pinned version)" >&2; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -41,4 +51,15 @@ test-short:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -short ./...
 
-ci: fmt-check vet build examples test-short bench
+# CI mirror of the bench-regression gate: time the serving experiments,
+# hash their tables, and fail on >20% runtime regression or table drift
+# vs the checked-in baseline. BENCH_serve.json is the CI artifact.
+bench-check:
+	$(GO) run ./cmd/pimphony-bench -short -gate-emit BENCH_serve.json -gate-check bench/baseline.json
+
+# Regenerate the checked-in gate baseline (after an intentional change
+# to a gated experiment's output or cost).
+bench-baseline:
+	$(GO) run ./cmd/pimphony-bench -short -gate-emit bench/baseline.json
+
+ci: fmt-check vet staticcheck build examples test-short bench bench-check

@@ -146,3 +146,9 @@ func BenchmarkAblationPrefill(b *testing.B) { runExperiment(b, "abl-prefill") }
 // Poisson arrivals load-balanced across continuous-batching replicas,
 // with goodput and p50/p95/p99 TTFT/TBT under the SLO.
 func BenchmarkServeCurve(b *testing.B) { runExperiment(b, "serve") }
+
+// BenchmarkCapacityGap regenerates the online Static-vs-DPA capacity
+// study: heavy-tailed and multi-turn schedules served at an equal
+// per-replica KV budget, with admission, preemption and pool
+// high-water-mark metrics next to the latency–goodput gap.
+func BenchmarkCapacityGap(b *testing.B) { runExperiment(b, "capacity") }

@@ -6,6 +6,13 @@
 //	pimphony-bench -run fig13
 //	pimphony-bench -run all [-csv] [-parallel 8]
 //
+// Gate mode (the CI bench-regression gate) times the serving-path
+// experiments, hashes their tables and compares against a checked-in
+// baseline; `make bench-check` mirrors what CI runs:
+//
+//	pimphony-bench -short -gate-emit BENCH_serve.json
+//	pimphony-bench -short -gate-emit BENCH_serve.json -gate-check bench/baseline.json
+//
 // Every experiment prints the same rows/series the paper reports;
 // EXPERIMENTS.md records the paper-vs-measured comparison. Experiments
 // (and the sweep points inside each experiment) fan out across -parallel
@@ -20,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"pimphony/internal/benchgate"
 	"pimphony/internal/experiments"
 	"pimphony/internal/sweep"
 )
@@ -40,10 +48,19 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	short := flag.Bool("short", false, "use the scaled-down CI grids")
 	parallel := flag.Int("parallel", 0, "worker bound per sweep level, 0 = GOMAXPROCS (nested sweeps each apply their own bound; 1 reproduces fully sequential runs)")
+	gateEmit := flag.String("gate-emit", "", "write the bench-regression gate file (timings + table hashes for the serving experiments) to this path")
+	gateCheck := flag.String("gate-check", "", "compare the gate measurements against this baseline file and exit non-zero on >tolerance regression or table drift")
+	gateTol := flag.Float64("gate-tol", 0.20, "relative runtime regression tolerance for -gate-check")
+	gateRuns := flag.Int("gate-runs", 3, "timing repetitions per gated experiment (best run is kept)")
 	flag.Parse()
 
 	sweep.SetDefault(*parallel)
 	experiments.SetShort(*short)
+
+	if *gateEmit != "" || *gateCheck != "" {
+		runGate(*gateEmit, *gateCheck, *gateTol, *gateRuns)
+		return
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -102,4 +119,38 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// runGate measures the gated experiments and optionally writes the
+// artifact and/or checks it against a baseline.
+func runGate(emitPath, checkPath string, tol float64, runs int) {
+	cur, err := benchgate.Collect(benchgate.DefaultIDs(), runs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if emitPath != "" {
+		if err := cur.Save(emitPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d experiments, calib %.1fms)\n",
+			emitPath, len(cur.Experiments), float64(cur.CalibNs)/1e6)
+	}
+	if checkPath == "" {
+		return
+	}
+	base, err := benchgate.Load(checkPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if problems := benchgate.Compare(base, cur, tol); len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "bench-regression gate FAILED vs %s:\n", checkPath)
+		for _, p := range problems {
+			fmt.Fprintf(os.Stderr, "  - %s\n", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("bench-regression gate passed vs %s (tolerance %.0f%%)\n", checkPath, 100*tol)
 }

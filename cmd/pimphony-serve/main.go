@@ -7,11 +7,20 @@
 // parallel sweep engine; the table is byte-identical at any -parallel
 // setting (every simulation is deterministic given -seed).
 //
+// The -alloc and -kv-budget flags pick the KV allocation scheme (static
+// T_max reservation vs DPA lazy chunks) and cap the per-replica KV pool;
+// -capacity renders the Static-vs-DPA capacity gap table (admission,
+// preemption and pool high-water marks) instead of the latency curve.
+// -turns switches the workload to multi-turn conversations whose
+// contexts re-extend every turn.
+//
 // Examples:
 //
 //	pimphony-serve -system cent -model 7b-32k -trace QMSum
 //	pimphony-serve -rate 50,100,200 -replicas 1,2,4 -policy round-robin,least-tokens
 //	pimphony-serve -rate 100 -policy session -sessions 4 -slo-ttft 50
+//	pimphony-serve -capacity -kv-budget 32 -trace heavy:2048-30000 -rate 32,96
+//	pimphony-serve -alloc static -kv-budget 32 -turns 3 -think 0.2
 package main
 
 import (
@@ -67,6 +76,11 @@ func main() {
 	sloTTFT := flag.Float64("slo-ttft", 100, "TTFT SLO in milliseconds (0 disables)")
 	sloTBT := flag.Float64("slo-tbt", 25, "TBT SLO in milliseconds (0 disables)")
 	prefill := flag.Bool("prefill", false, "add offloaded prompt-prefill latency to TTFT/E2E")
+	alloc := flag.String("alloc", "", "KV allocation scheme: static or dpa (default dpa; comma-separated or empty sweeps static,dpa in -capacity mode)")
+	kvBudget := flag.Float64("kv-budget", 0, "per-replica KV capacity budget in GiB (0 = the full pool left after weights)")
+	capacity := flag.Bool("capacity", false, "render the Static-vs-DPA capacity gap table (admission/preemption/pool peaks) instead of the latency curve")
+	turns := flag.Int("turns", 1, "turns per conversation; >1 switches to multi-turn sessions (-sessions conversations whose contexts re-extend per turn; -rate becomes the session-start rate)")
+	think := flag.Float64("think", 0.2, "mean think time in seconds between turns of a session (multi-turn only)")
 	seed := flag.Int64("seed", 42, "RNG seed for request sizes and arrival times")
 	parallel := flag.Int("parallel", 0, "sweep worker bound, 0 = GOMAXPROCS (1 reproduces fully sequential runs)")
 	csv := flag.Bool("csv", false, "emit CSV instead of the aligned table")
@@ -86,6 +100,9 @@ func main() {
 	default:
 		log.Fatalf("unknown system %q (cent, neupims)", *system)
 	}
+	if *kvBudget > 0 {
+		sysCfg.KVBudgetBytes = int64(*kvBudget * float64(1<<30))
+	}
 
 	rateList, err := splitFloats(*rates)
 	if err != nil {
@@ -94,6 +111,98 @@ func main() {
 	replList, err := splitInts(*replicas)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// One deterministic schedule per rate: the request sequence (sizes,
+	// sessions) is identical across rates; only the timestamps change.
+	// The arrival process gets a derived seed so the size and timing
+	// RNG streams are independent, not copies of one another. With
+	// -turns > 1 the schedule is -sessions multi-turn conversations
+	// instead, each turn re-extending its session's context.
+	mkArrivals := func(rate float64) ([]workload.Arrival, error) {
+		gen, err := workload.GeneratorByFlag(strings.TrimSpace(*traceName), *seed)
+		if err != nil {
+			return nil, err
+		}
+		gen.DecodeLen = *decode
+		if *turns > 1 {
+			return workload.MultiTurnArrivals(gen, workload.MultiTurnSpec{
+				Sessions:   *sessions,
+				Turns:      *turns,
+				Rate:       rate,
+				ThinkMean:  *think,
+				PromptMin:  64,
+				PromptMax:  512,
+				MaxContext: m.ContextWindow - *decode,
+			}, *seed+1)
+		}
+		return workload.PoissonArrivals(gen, rate, *sessions, *n, *seed+1)
+	}
+
+	slo := serve.SLO{TTFT: *sloTTFT / 1e3, TBT: *sloTBT / 1e3}
+	workDesc := fmt.Sprintf("%d requests", *n)
+	if *turns > 1 {
+		workDesc = fmt.Sprintf("%d sessions x %d turns", *sessions, *turns)
+	}
+
+	emit := func(t interface {
+		CSV() string
+		String() string
+	}) {
+		if *csv {
+			fmt.Print(t.CSV())
+			return
+		}
+		fmt.Print(t.String())
+	}
+
+	if *capacity {
+		if *prefill {
+			log.Fatal("-prefill is not supported in -capacity mode (the capacity table reports decode-side latencies only)")
+		}
+		allocList := strings.TrimSpace(*alloc)
+		if allocList == "" {
+			allocList = "static,dpa"
+		}
+		var pts []serve.CapacityPoint
+		for _, al := range strings.Split(allocList, ",") {
+			al = strings.TrimSpace(al)
+			for _, r := range replList {
+				for _, rate := range rateList {
+					pts = append(pts, serve.CapacityPoint{Alloc: al, Replicas: r, Rate: rate})
+				}
+			}
+		}
+		// The capacity table sweeps allocators under one fixed policy:
+		// a multi-policy sweep would need a policy column it does not
+		// have. The curve-mode default (two policies) silently becomes
+		// round-robin; an explicit multi-policy list is an error.
+		policySet := false
+		flag.Visit(func(f *flag.Flag) { policySet = policySet || f.Name == "policy" })
+		policy := "round-robin"
+		if policySet {
+			if strings.Contains(*policies, ",") {
+				log.Fatalf("-capacity sweeps allocators under a single -policy; got %q", *policies)
+			}
+			policy = strings.TrimSpace(*policies)
+		}
+		title := fmt.Sprintf("capacity %s / %s / %s — %s, decode %d, KV budget %s, SLO ttft<=%gms tbt<=%gms (latencies in ms)",
+			*system, m.Name, strings.TrimSpace(*traceName), workDesc, *decode, budgetDesc(sysCfg.KVBudgetBytes), *sloTTFT, *sloTBT)
+		t, err := serve.CapacityTable(context.Background(), title, sysCfg, policy, pts, slo, mkArrivals)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(t)
+		return
+	}
+
+	switch strings.TrimSpace(*alloc) {
+	case "", "dpa":
+		sysCfg.Tech.DPA = true
+	case "static":
+		sysCfg.Tech.DPA = false
+	default:
+		log.Fatalf("unknown allocator %q (static, dpa; comma-separated sweeps need -capacity)", *alloc)
 	}
 	var pts []serve.CurvePoint
 	for _, pol := range strings.Split(*policies, ",") {
@@ -104,30 +213,19 @@ func main() {
 			}
 		}
 	}
-
-	// One deterministic schedule per rate: the request sequence (sizes,
-	// sessions) is identical across rates; only the timestamps change.
-	// The arrival process gets a derived seed so the size and timing
-	// RNG streams are independent, not copies of one another.
-	mkArrivals := func(rate float64) ([]workload.Arrival, error) {
-		gen, err := workload.GeneratorByFlag(strings.TrimSpace(*traceName), *seed)
-		if err != nil {
-			return nil, err
-		}
-		gen.DecodeLen = *decode
-		return workload.PoissonArrivals(gen, rate, *sessions, *n, *seed+1)
-	}
-
-	slo := serve.SLO{TTFT: *sloTTFT / 1e3, TBT: *sloTBT / 1e3}
-	title := fmt.Sprintf("serving %s / %s / %s — %d requests, decode %d, SLO ttft<=%gms tbt<=%gms (latencies in ms)",
-		*system, m.Name, strings.TrimSpace(*traceName), *n, *decode, *sloTTFT, *sloTBT)
+	title := fmt.Sprintf("serving %s / %s / %s — %s, decode %d, SLO ttft<=%gms tbt<=%gms (latencies in ms)",
+		*system, m.Name, strings.TrimSpace(*traceName), workDesc, *decode, *sloTTFT, *sloTBT)
 	t, err := serve.CurveTable(context.Background(), title, sysCfg, pts, slo, *prefill, mkArrivals)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *csv {
-		fmt.Print(t.CSV())
-		return
+	emit(t)
+}
+
+// budgetDesc renders the KV budget for titles.
+func budgetDesc(b int64) string {
+	if b <= 0 {
+		return "full pool"
 	}
-	fmt.Print(t.String())
+	return fmt.Sprintf("%.3g GiB/replica", float64(b)/float64(1<<30))
 }

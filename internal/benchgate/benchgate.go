@@ -1,0 +1,191 @@
+// Package benchgate is the CI bench-regression gate: it times the key
+// serving experiments on the scaled-down grids, hashes their rendered
+// tables, and compares the result against a checked-in baseline
+// (bench/baseline.json). Two classes of regression fail the gate:
+//
+//   - output drift — a table hash no longer matches the baseline, i.e.
+//     the deterministic simulation now produces different numbers (an
+//     intentional change must regenerate the baseline via
+//     `make bench-baseline`);
+//   - performance — an experiment's runtime, normalised by a fixed
+//     CPU calibration loop so machines of different speeds are
+//     comparable, regressed more than the tolerance (20% in CI).
+//
+// The emitted JSON (BENCH_serve.json) is uploaded as a CI artifact so a
+// regression can be diagnosed from the run that caught it.
+package benchgate
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"pimphony/internal/experiments"
+	"pimphony/internal/sweep"
+)
+
+// Schema is the current file-format version.
+const Schema = 1
+
+// DefaultIDs are the gated experiments: the serving-path studies whose
+// tables CI pins (the batch figures are covered by the bench smoke).
+func DefaultIDs() []string { return []string{"capacity", "serve"} }
+
+// Entry is one experiment's measurement.
+type Entry struct {
+	// Hash is the SHA-256 of the experiment's rendered result (all
+	// tables and notes) — the determinism pin.
+	Hash string `json:"hash"`
+	// Ns is the best-of-N wall-clock runtime in nanoseconds.
+	Ns int64 `json:"ns"`
+	// Score is Ns divided by the calibration-loop time: a
+	// machine-speed-normalised cost the gate compares across runs.
+	Score float64 `json:"score"`
+}
+
+// File is the on-disk gate format.
+type File struct {
+	Schema  int   `json:"schema"`
+	Short   bool  `json:"short"`
+	CalibNs int64 `json:"calib_ns"`
+	// Experiments maps experiment ID to its measurement.
+	Experiments map[string]Entry `json:"experiments"`
+}
+
+// calibSink keeps the calibration loop from being optimised away.
+var calibSink uint64
+
+// calibrate times a fixed integer-arithmetic loop (best of runs): a
+// machine-speed yardstick that scales with the same scalar throughput
+// the simulator's hot loops do, so Score transfers across hosts. The
+// normalisation is approximate — the simulator is also map- and
+// branch-heavy, so the work/calibration ratio can drift a little
+// between microarchitectures; the 20% tolerance absorbs that, and if a
+// hardware generation shift ever makes the gate fail with no code
+// change, regenerate the baseline (`make bench-baseline`).
+func calibrate(runs int) int64 {
+	best := int64(1<<63 - 1)
+	for r := 0; r < runs; r++ {
+		start := time.Now()
+		acc := uint64(1469598103934665603)
+		for i := 0; i < 1<<24; i++ {
+			acc ^= uint64(i)
+			acc *= 1099511628211
+		}
+		calibSink = acc
+		if d := time.Since(start).Nanoseconds(); d < best {
+			best = d
+		}
+	}
+	if best <= 0 {
+		best = 1
+	}
+	return best
+}
+
+// Collect runs each experiment `runs` times (keeping the fastest) and
+// returns the gate file. Callers choose the grid mode beforehand via
+// experiments.SetShort. The experiments run with the sweep engine
+// pinned to one worker: the calibration loop is single-threaded, so
+// the timed work must be too — otherwise Score would shrink with the
+// host's core count and the gate would not transfer between the
+// baseline machine and CI runners.
+func Collect(ids []string, runs int) (*File, error) {
+	if runs <= 0 {
+		runs = 1
+	}
+	prev := sweep.SetDefault(1)
+	defer sweep.SetDefault(prev)
+	f := &File{Schema: Schema, Short: experiments.Short(), CalibNs: calibrate(runs),
+		Experiments: make(map[string]Entry, len(ids))}
+	for _, id := range ids {
+		var hash string
+		best := int64(1<<63 - 1)
+		for r := 0; r < runs; r++ {
+			start := time.Now()
+			res, err := experiments.Run(id)
+			if err != nil {
+				return nil, fmt.Errorf("benchgate: %s: %w", id, err)
+			}
+			if d := time.Since(start).Nanoseconds(); d < best {
+				best = d
+			}
+			sum := sha256.Sum256([]byte(res.String()))
+			h := hex.EncodeToString(sum[:])
+			if hash != "" && h != hash {
+				return nil, fmt.Errorf("benchgate: %s is non-deterministic across runs (%s vs %s)", id, hash[:12], h[:12])
+			}
+			hash = h
+		}
+		f.Experiments[id] = Entry{Hash: hash, Ns: best, Score: float64(best) / float64(f.CalibNs)}
+	}
+	return f, nil
+}
+
+// Save writes the file as indented JSON with sorted keys (encoding/json
+// sorts map keys, so the baseline diffs cleanly).
+func (f *File) Save(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads a gate file.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("benchgate: %s: %w", path, err)
+	}
+	if f.Schema != Schema {
+		return nil, fmt.Errorf("benchgate: %s has schema %d, want %d", path, f.Schema, Schema)
+	}
+	return &f, nil
+}
+
+// Compare checks the current measurements against a baseline with the
+// given relative runtime tolerance (0.20 = fail beyond +20%). It
+// returns one human-readable problem per violation, sorted; an empty
+// slice means the gate passes. Experiments present only in the current
+// file are ignored (new experiments gate once the baseline includes
+// them); experiments missing from the current file fail.
+func Compare(baseline, current *File, tol float64) []string {
+	var problems []string
+	if baseline.Short != current.Short {
+		problems = append(problems,
+			fmt.Sprintf("grid mode mismatch: baseline short=%v, current short=%v", baseline.Short, current.Short))
+	}
+	ids := make([]string, 0, len(baseline.Experiments))
+	for id := range baseline.Experiments {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		base := baseline.Experiments[id]
+		cur, ok := current.Experiments[id]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: missing from current run", id))
+			continue
+		}
+		if cur.Hash != base.Hash {
+			problems = append(problems,
+				fmt.Sprintf("%s: table output changed (hash %.12s -> %.12s); if intended, regenerate bench/baseline.json (make bench-baseline)",
+					id, base.Hash, cur.Hash))
+		}
+		if base.Score > 0 && cur.Score > base.Score*(1+tol) {
+			problems = append(problems,
+				fmt.Sprintf("%s: runtime regressed %.0f%% (score %.3f -> %.3f, tolerance %.0f%%)",
+					id, 100*(cur.Score/base.Score-1), base.Score, cur.Score, 100*tol))
+		}
+	}
+	return problems
+}

@@ -1,0 +1,134 @@
+package benchgate
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pimphony/internal/experiments"
+)
+
+func entry(hash string, score float64) Entry {
+	return Entry{Hash: hash, Ns: int64(score * 1e6), Score: score}
+}
+
+func gateFile(short bool, entries map[string]Entry) *File {
+	return &File{Schema: Schema, Short: short, CalibNs: 1e6, Experiments: entries}
+}
+
+func TestCompareRules(t *testing.T) {
+	base := gateFile(true, map[string]Entry{
+		"serve":    entry("aaa", 1.0),
+		"capacity": entry("bbb", 4.0),
+	})
+	ok := gateFile(true, map[string]Entry{
+		"serve":    entry("aaa", 1.1),  // +10%: inside tolerance
+		"capacity": entry("bbb", 3.0),  // improvement: always fine
+		"extra":    entry("ccc", 99.0), // new experiment: ignored until baselined
+	})
+	if problems := Compare(base, ok, 0.20); len(problems) != 0 {
+		t.Fatalf("clean run flagged: %v", problems)
+	}
+
+	regressed := gateFile(true, map[string]Entry{
+		"serve":    entry("aaa", 1.3), // +30%: beyond 20% tolerance
+		"capacity": entry("bbb", 4.0),
+	})
+	problems := Compare(base, regressed, 0.20)
+	if len(problems) != 1 || !strings.Contains(problems[0], "serve") ||
+		!strings.Contains(problems[0], "regressed") {
+		t.Fatalf("runtime regression not flagged correctly: %v", problems)
+	}
+
+	drifted := gateFile(true, map[string]Entry{
+		"serve":    entry("zzz", 1.0), // table output changed
+		"capacity": entry("bbb", 4.0),
+	})
+	problems = Compare(base, drifted, 0.20)
+	if len(problems) != 1 || !strings.Contains(problems[0], "output changed") {
+		t.Fatalf("table drift not flagged: %v", problems)
+	}
+
+	missing := gateFile(true, map[string]Entry{"serve": entry("aaa", 1.0)})
+	problems = Compare(base, missing, 0.20)
+	if len(problems) != 1 || !strings.Contains(problems[0], "capacity") ||
+		!strings.Contains(problems[0], "missing") {
+		t.Fatalf("missing experiment not flagged: %v", problems)
+	}
+
+	wrongMode := gateFile(false, base.Experiments)
+	if problems := Compare(base, wrongMode, 0.20); len(problems) == 0 {
+		t.Fatal("grid-mode mismatch not flagged")
+	}
+
+	// Problems come back sorted by experiment ID (deterministic CI logs).
+	both := gateFile(true, map[string]Entry{
+		"serve":    entry("zzz", 9.0),
+		"capacity": entry("yyy", 9.0),
+	})
+	problems = Compare(base, both, 0.20)
+	if len(problems) < 2 || !strings.Contains(problems[0], "capacity") {
+		t.Fatalf("problems not sorted: %v", problems)
+	}
+}
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	f := gateFile(true, map[string]Entry{"serve": entry("aaa", 1.5)})
+	path := filepath.Join(t.TempDir(), "gate.json")
+	if err := f.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Short != f.Short || got.CalibNs != f.CalibNs ||
+		got.Experiments["serve"] != f.Experiments["serve"] {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", got, f)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file should error")
+	}
+	f.Schema = 99
+	if err := f.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("wrong schema should error")
+	}
+}
+
+// TestCollectDeterministicHashes runs the real gated experiments twice
+// (scaled-down grids) and checks the table hashes are identical — the
+// property the CI drift check relies on. Timing fields only need to be
+// positive.
+func TestCollectDeterministicHashes(t *testing.T) {
+	prev := experiments.SetShort(true)
+	t.Cleanup(func() { experiments.SetShort(prev) })
+	a, err := Collect(DefaultIDs(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Collect(DefaultIDs(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range DefaultIDs() {
+		ea, eb := a.Experiments[id], b.Experiments[id]
+		if ea.Hash == "" || ea.Hash != eb.Hash {
+			t.Errorf("%s: hashes differ across runs (%q vs %q)", id, ea.Hash, eb.Hash)
+		}
+		if ea.Ns <= 0 || ea.Score <= 0 {
+			t.Errorf("%s: non-positive timing %+v", id, ea)
+		}
+	}
+	if problems := Compare(a, b, 5.0); len(problems) != 0 {
+		t.Errorf("back-to-back runs should pass a loose gate: %v", problems)
+	}
+}
+
+func TestCollectUnknownExperiment(t *testing.T) {
+	if _, err := Collect([]string{"nope"}, 1); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}

@@ -89,6 +89,10 @@ type Config struct {
 	GPUs int
 	// MaxBatch optionally caps admission (0 = capacity-bound only).
 	MaxBatch int
+	// KVBudgetBytes optionally caps the KV-cache pool below the physical
+	// capacity left after weights (0 = whole pool). The capacity studies
+	// use it to compare allocation schemes at an equal memory budget.
+	KVBudgetBytes int64
 	// ContinuousBatching enables Orca-style iteration-level scheduling:
 	// requests that finish their generation length release their KV
 	// memory and the next pending request is admitted mid-window.
@@ -99,6 +103,9 @@ type Config struct {
 func (c *Config) Validate() error {
 	if err := c.Model.Validate(); err != nil {
 		return err
+	}
+	if c.KVBudgetBytes < 0 {
+		return fmt.Errorf("cluster %s: KVBudgetBytes must be non-negative", c.Name)
 	}
 	if c.Kind == GPUSystem {
 		if c.GPUs <= 0 {
@@ -199,7 +206,11 @@ func (s *System) kvPoolBytes() (int64, error) {
 		return 0, fmt.Errorf("cluster %s: weights (%d GiB) exceed capacity (%d GiB)",
 			s.cfg.Name, w>>30, capacity>>30)
 	}
-	return capacity - w, nil
+	pool := capacity - w
+	if b := s.cfg.KVBudgetBytes; b > 0 && b < pool {
+		pool = b
+	}
+	return pool, nil
 }
 
 // admitter owns the admission state: the KV allocator, the head-first
@@ -219,6 +230,11 @@ type admitter struct {
 	// grows every request through the decode window; the serving engine
 	// grows each request to its own generation length.
 	horizon func(workload.Request) int
+	// admitTokens is the KV size (in tokens) a request occupies at the
+	// moment of admission. The default is the prompt context; the serving
+	// engine overrides it so a preempted request re-admits at its full
+	// recomputed KV (context + tokens already generated).
+	admitTokens func(workload.Request) int
 }
 
 // newAdmitter builds the allocator and admission bookkeeping.
@@ -243,6 +259,7 @@ func (s *System) newAdmitter(reqs []workload.Request) (*admitter, error) {
 		alloc = a
 	}
 	ad := &admitter{sys: s, alloc: alloc, headNeed: make(map[int]int64), pending: reqs}
+	ad.admitTokens = func(r workload.Request) int { return r.Context }
 	ad.horizon = func(r workload.Request) int {
 		need := r.Context + s.cfg.DecodeWindow
 		if need > s.tmax() {
@@ -288,7 +305,7 @@ func (a *admitter) fill() {
 				return
 			}
 		}
-		if err := a.alloc.Admit(r.ID, r.Context); err != nil {
+		if err := a.alloc.Admit(r.ID, a.admitTokens(r)); err != nil {
 			return
 		}
 		a.headUsed += headNeed
@@ -296,6 +313,37 @@ func (a *admitter) fill() {
 		a.active = append(a.active, r)
 		a.pending = a.pending[1:]
 	}
+}
+
+// isActive reports whether a request is currently admitted (headNeed
+// keeps one entry per admitted request, including zero entries under
+// TCP, so it doubles as the membership set).
+func (a *admitter) isActive(reqID int) bool {
+	_, ok := a.headNeed[reqID]
+	return ok
+}
+
+// requeueFront frees an active request's memory and head budget and
+// puts it back at the head of the pending queue — the serving engine's
+// preemption path. Unlike release, the request will be re-admitted (and
+// its KV recomputed) once capacity frees up.
+func (a *admitter) requeueFront(reqID int) error {
+	var req workload.Request
+	found := false
+	for _, r := range a.active {
+		if r.ID == reqID {
+			req, found = r, true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("cluster %s: cannot preempt inactive request %d", a.sys.cfg.Name, reqID)
+	}
+	if err := a.release(reqID); err != nil {
+		return err
+	}
+	a.pending = append([]workload.Request{req}, a.pending...)
+	return nil
 }
 
 // release frees a completed request's memory and head budget.

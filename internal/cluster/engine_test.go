@@ -259,3 +259,152 @@ func TestEngineMatchesRunThroughput(t *testing.T) {
 		t.Errorf("engine time %g vs Run time %g", e.BusySeconds(), rep.TotalSeconds)
 	}
 }
+
+// TestEngineKVBudgetCapsPool: Config.KVBudgetBytes caps the serving
+// pool below the physical capacity left after weights.
+func TestEngineKVBudgetCapsPool(t *testing.T) {
+	cfg := engineConfig(t, PIMphony())
+	cfg.KVBudgetBytes = 1 << 30
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sys.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.KVPoolBytes(); got != 1<<30 {
+		t.Fatalf("pool %d, want the 1 GiB budget", got)
+	}
+	cfg.KVBudgetBytes = -1
+	if _, err := New(cfg); err == nil {
+		t.Error("negative KV budget should fail validation")
+	}
+}
+
+// TestEnginePreemptsUnderDPAExhaustion builds the failure mode static
+// allocation over-reserves to avoid: two DPA requests admitted into a
+// pool with room for their prompts but not their combined growth. The
+// engine must evict the youngest back to the queue (freeing its
+// chunks), let the older one finish, then re-admit the victim — paying
+// a KV recompute — and still serve every token exactly once.
+func TestEnginePreemptsUnderDPAExhaustion(t *testing.T) {
+	cfg := engineConfig(t, PIMphony()) // DPA on
+	// LLM-7B KV is 0.5 MiB/token -> 2 tokens per 1 MiB chunk. 4100
+	// chunks hold two 4096-token prompts (2048 chunks each) with only 4
+	// chunks of slack — each request wants 4 more chunks of growth.
+	cfg.KVBudgetBytes = 4100 << 20
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sys.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := workload.Request{ID: 1, Context: 4096, Decode: 8}
+	b := workload.Request{ID: 2, Context: 4096, Decode: 8}
+	for _, r := range []workload.Request{a, b} {
+		if err := e.Enqueue(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var done []workload.Request
+	var preempted []workload.Request
+	tokens := map[int]int{}
+	for i := 0; !e.Idle(); i++ {
+		if i > 10_000 {
+			t.Fatal("engine did not drain")
+		}
+		res, err := e.Step(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		done = append(done, res.Completed...)
+		preempted = append(preempted, res.Preempted...)
+		for _, id := range res.Generated {
+			tokens[id]++
+		}
+		// Invariant: the allocator never reserves past the budget and
+		// live never exceeds reserved.
+		al := e.Alloc()
+		if al.ReservedBytes() > al.CapacityBytes() {
+			t.Fatalf("step %d: reserved %d past capacity %d", i, al.ReservedBytes(), al.CapacityBytes())
+		}
+		if al.LiveBytes() > al.ReservedBytes() {
+			t.Fatalf("step %d: live %d > reserved %d", i, al.LiveBytes(), al.ReservedBytes())
+		}
+	}
+	if e.Preemptions() == 0 || len(preempted) == 0 {
+		t.Fatal("expected at least one preemption in the exhaustion scenario")
+	}
+	if preempted[0].ID != b.ID {
+		t.Errorf("victim was %d, want the youngest (%d)", preempted[0].ID, b.ID)
+	}
+	if len(done) != 2 {
+		t.Fatalf("completed %d of 2 requests", len(done))
+	}
+	// The older request finishes first; the victim re-admits after.
+	if done[0].ID != a.ID || done[1].ID != b.ID {
+		t.Errorf("completion order %v, want [1 2]", []int{done[0].ID, done[1].ID})
+	}
+	// Every decode token emitted exactly once — eviction keeps progress,
+	// recompute rebuilds KV, not tokens.
+	if tokens[a.ID] != a.Decode || tokens[b.ID] != b.Decode {
+		t.Errorf("token counts %v, want 8 each", tokens)
+	}
+	if e.RecomputeSeconds() <= 0 {
+		t.Error("re-admission should have charged KV recompute time")
+	}
+	if e.MaxActive() != 2 {
+		t.Errorf("max active %d, want 2", e.MaxActive())
+	}
+	// Reserve/release accounting under preemption: the drained pool is
+	// empty.
+	if r := e.Alloc().ReservedBytes(); r != 0 {
+		t.Errorf("reserved %d bytes after drain", r)
+	}
+	if l := e.Alloc().LiveBytes(); l != 0 {
+		t.Errorf("live %d bytes after drain", l)
+	}
+}
+
+// TestEngineStaticNeverPreempts: the same exhaustion-shaped workload
+// under static allocation cannot over-admit — T_max reservation blocks
+// the second request at admission instead, so it queues (blocked time
+// accrues) and no preemption ever happens.
+func TestEngineStaticNeverPreempts(t *testing.T) {
+	cfg := engineConfig(t, Technique{TCP: true, DCS: true}) // DPA off
+	cfg.TMaxOverride = 8192                                 // 4 GiB static reservation per request
+	cfg.KVBudgetBytes = 4100 << 20                          // room for exactly one
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sys.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 1; id <= 2; id++ {
+		if err := e.Enqueue(workload.Request{ID: id, Context: 4096, Decode: 8}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := drain(t, e)
+	if len(done) != 2 {
+		t.Fatalf("completed %d of 2", len(done))
+	}
+	if e.Preemptions() != 0 {
+		t.Errorf("static allocation preempted %d times", e.Preemptions())
+	}
+	if e.MaxActive() != 1 {
+		t.Errorf("max active %d, want 1 (one T_max reservation fits)", e.MaxActive())
+	}
+	if e.BlockedSeconds() <= 0 {
+		t.Error("the queued request should have accrued admission-blocked time")
+	}
+	if e.PeakReservedBytes() <= e.PeakLiveBytes() {
+		t.Errorf("static peak reserved %d should exceed peak live %d",
+			e.PeakReservedBytes(), e.PeakLiveBytes())
+	}
+}

@@ -95,8 +95,9 @@ var registry = map[string]Runner{
 	"fig19": Fig19Capacity,
 	"fig20": Fig20GPUCompare,
 
-	// Online serving study beyond the paper's batch evaluation.
-	"serve": ServeCurve,
+	// Online serving studies beyond the paper's batch evaluation.
+	"serve":    ServeCurve,
+	"capacity": CapacityGap,
 
 	// Design-choice ablations beyond the paper's figures.
 	"abl-ismac":   AblationIsMAC,

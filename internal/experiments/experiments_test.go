@@ -135,7 +135,7 @@ func TestIDsSortedAndStable(t *testing.T) {
 func TestParallelMatchesSequential(t *testing.T) {
 	prevShort := SetShort(true)
 	t.Cleanup(func() { SetShort(prevShort) })
-	for _, id := range []string{"fig8", "fig13", "fig15", "fig19", "serve"} {
+	for _, id := range []string{"fig8", "fig13", "fig15", "fig19", "serve", "capacity"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			prev := sweep.SetDefault(1)
@@ -239,6 +239,54 @@ func TestFig19Bands(t *testing.T) {
 		}
 		if dpa < 55 {
 			t.Errorf("%s: DPA util %.1f%% too low (paper: ~75.6%%)", row[0], dpa)
+		}
+	}
+}
+
+// TestCapacityGapBands pins the headline of the online capacity study:
+// at every (rate, replica) point of both tables, DPA admits strictly
+// more concurrent long-context requests than static at the same KV
+// budget, and never less goodput. Static, which cannot over-admit, must
+// never preempt.
+func TestCapacityGapBands(t *testing.T) {
+	useGrids(t)
+	res := runCached(t, "capacity")
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", s)
+		}
+		return v
+	}
+	for _, tb := range res.Tables {
+		type row struct{ maxAct, preempt, goodput float64 }
+		static := map[string]row{}
+		for _, r := range tb.Rows {
+			// Columns: alloc repl req/s max-act preempt blocked-s
+			// recomp-s peak-live peak-resv tok/s goodput ...
+			key := r[1] + "@" + r[2]
+			v := row{maxAct: parse(r[3]), preempt: parse(r[4]), goodput: parse(r[10])}
+			switch r[0] {
+			case "static":
+				if v.preempt != 0 {
+					t.Errorf("%s: static preempted %g times; T_max reservation cannot over-admit", tb.Title, v.preempt)
+				}
+				static[key] = v
+			case "dpa":
+				st, ok := static[key]
+				if !ok {
+					t.Fatalf("%s: dpa row %v has no static counterpart", tb.Title, r)
+				}
+				if v.maxAct <= st.maxAct {
+					t.Errorf("%s @ %s: DPA max-active %g not strictly above static %g at the same budget",
+						tb.Title, key, v.maxAct, st.maxAct)
+				}
+				if v.goodput < st.goodput {
+					t.Errorf("%s @ %s: DPA goodput %g below static %g", tb.Title, key, v.goodput, st.goodput)
+				}
+			default:
+				t.Fatalf("%s: unknown alloc %q", tb.Title, r[0])
+			}
 		}
 	}
 }

@@ -342,3 +342,171 @@ func TestStaticInvariantProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Serving-path edge cases: free-order independence, exhaustion, and
+// reserve/release accounting under preemption-style churn.
+// ---------------------------------------------------------------------------
+
+// TestFreeOrderIndependence: whatever order requests are released in —
+// FIFO, LIFO, interleaved, as completion and preemption mix them on the
+// serving path — the pool ends empty and re-admits the same workload.
+func TestFreeOrderIndependence(t *testing.T) {
+	const bpt = 1 << 10
+	orders := [][]int{
+		{0, 1, 2, 3},
+		{3, 2, 1, 0},
+		{1, 3, 0, 2},
+		{2, 0, 3, 1},
+	}
+	mk := func() []Allocator {
+		s, err := NewStatic(64<<20, bpt, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := NewDPA(64<<20, bpt, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return []Allocator{s, d}
+	}
+	for _, order := range orders {
+		for _, a := range mk() {
+			for id := 0; id < 4; id++ {
+				if err := a.Admit(id, 600+id*13); err != nil {
+					t.Fatalf("%s order %v: admit %d: %v", a.Name(), order, id, err)
+				}
+			}
+			for _, id := range order {
+				if err := a.Release(id); err != nil {
+					t.Fatalf("%s order %v: release %d: %v", a.Name(), order, id, err)
+				}
+			}
+			if a.ReservedBytes() != 0 || a.LiveBytes() != 0 {
+				t.Errorf("%s order %v: reserved %d / live %d after full release",
+					a.Name(), order, a.ReservedBytes(), a.LiveBytes())
+			}
+			// The drained pool must accept the same workload again, and
+			// at full size — no fragmentation regardless of free order.
+			for id := 10; id < 14; id++ {
+				if err := a.Admit(id, 600); err != nil {
+					t.Errorf("%s order %v: re-admit %d failed: %v", a.Name(), order, id, err)
+				}
+			}
+		}
+	}
+}
+
+// TestDPAChunkTableExhaustion drives the chunk table to exactly zero
+// free entries and checks Admit, Grow and CanAdmit all fail cleanly,
+// then recover after one release.
+func TestDPAChunkTableExhaustion(t *testing.T) {
+	const chunk = 1 << 20
+	d, err := NewDPA(4*chunk, 1<<10, chunk) // 4 chunks, 1024 tokens each
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Admit(1, 2048); err != nil { // 2 chunks
+		t.Fatal(err)
+	}
+	if err := d.Admit(2, 2048); err != nil { // 2 chunks -> table full
+		t.Fatal(err)
+	}
+	if d.ReservedBytes() != 4*chunk {
+		t.Fatalf("reserved %d, want the whole pool", d.ReservedBytes())
+	}
+	if d.CanAdmit(1) {
+		t.Error("CanAdmit should fail with zero free chunks")
+	}
+	if err := d.Admit(3, 1); err == nil {
+		t.Error("Admit should fail with zero free chunks")
+	}
+	if err := d.Grow(1, 2049); err == nil {
+		t.Error("Grow past the last mapped chunk should fail when the table is exhausted")
+	}
+	// The failed Grow must not have corrupted state: token count intact.
+	if got := d.LiveBytes(); got != 2*2048<<10 {
+		t.Errorf("live bytes %d after failed grow, want %d", got, 2*2048<<10)
+	}
+	if err := d.Release(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Grow(1, 2049); err != nil {
+		t.Errorf("Grow should succeed after release: %v", err)
+	}
+	if !d.CanAdmit(1024) {
+		t.Error("CanAdmit should succeed after release")
+	}
+}
+
+// TestAccountingUnderPreemptionChurn mimics the serving engine's
+// preemption pattern — admit, grow a few steps, evict (release) the
+// youngest, re-admit it at its grown size — and checks the
+// reserve/release accounting invariants hold throughout: reserved >=
+// live, reserved == 0 when idle, and every release matched by exactly
+// one prior admission.
+func TestAccountingUnderPreemptionChurn(t *testing.T) {
+	const bpt = 512 << 10 // 0.5 MiB/token, the 7B-class footprint
+	d, err := NewDPA(64<<20, bpt, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(stage string) {
+		t.Helper()
+		if d.LiveBytes() > d.ReservedBytes() {
+			t.Fatalf("%s: live %d > reserved %d", stage, d.LiveBytes(), d.ReservedBytes())
+		}
+		if d.ReservedBytes() > d.CapacityBytes() {
+			t.Fatalf("%s: reserved %d > capacity %d", stage, d.ReservedBytes(), d.CapacityBytes())
+		}
+	}
+	// Admit two, grow both until the pool exhausts.
+	if err := d.Admit(1, 60); err != nil { // 30 MiB
+		t.Fatal(err)
+	}
+	if err := d.Admit(2, 60); err != nil { // 30 MiB -> 4 MiB slack
+		t.Fatal(err)
+	}
+	check("admitted")
+	grown := map[int]int{1: 60, 2: 60}
+	var evicted bool
+	for step := 0; step < 16 && !evicted; step++ {
+		for id := 1; id <= 2; id++ {
+			if err := d.Grow(id, grown[id]+1); err != nil {
+				// The engine's move: evict the youngest (2), re-queue.
+				if rerr := d.Release(2); rerr != nil {
+					t.Fatal(rerr)
+				}
+				evicted = true
+				break
+			}
+			grown[id]++
+			check("grow")
+		}
+	}
+	if !evicted {
+		t.Fatal("pool never exhausted; churn scenario mis-sized")
+	}
+	// Request 1 can now grow freely; re-admit 2 at its grown size once 1
+	// completes, as re-admission after preemption does.
+	if err := d.Grow(1, grown[1]+4); err != nil {
+		t.Fatalf("grow after eviction freed chunks: %v", err)
+	}
+	check("regrow")
+	if err := d.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Admit(2, grown[2]); err != nil {
+		t.Fatalf("re-admission at grown size: %v", err)
+	}
+	check("re-admitted")
+	if err := d.Release(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Release(2); err == nil {
+		t.Error("double release must fail")
+	}
+	if d.ReservedBytes() != 0 || d.LiveBytes() != 0 {
+		t.Errorf("drained pool not empty: reserved %d live %d", d.ReservedBytes(), d.LiveBytes())
+	}
+}

@@ -64,3 +64,66 @@ func CurveTable(ctx context.Context, title string, sys cluster.Config, pts []Cur
 	}
 	return t, nil
 }
+
+// CapacityPoint is one cell of a Static-vs-DPA capacity sweep: an
+// allocation scheme serving an arrival schedule at the given rate
+// across a replica count, all at the same per-replica KV budget.
+type CapacityPoint struct {
+	Alloc    string  // "static" or "dpa"
+	Replicas int     // decode engines behind the load balancer
+	Rate     float64 // offered arrival rate in requests/second
+}
+
+// CapacityTable renders the online Static-vs-DPA capacity gap: every
+// sweep point runs the same arrival schedule on the same system with
+// only the KV allocation scheme toggled (sys.Tech.DPA), and the table
+// reports how admission, preemption and the live/reserved high-water
+// marks translate into latency and goodput. mkArrivals must be
+// deterministic, so the table is byte-identical at any sweep
+// parallelism. The cmd/pimphony-serve -capacity mode and the
+// "capacity" experiment driver both render through here.
+func CapacityTable(ctx context.Context, title string, sys cluster.Config, policy string,
+	pts []CapacityPoint, slo SLO, mkArrivals func(rate float64) ([]workload.Arrival, error),
+	opts ...sweep.Option) (*tablefmt.Table, error) {
+	t := tablefmt.New(title,
+		"alloc", "repl", "req/s", "max-act", "preempt", "blocked-s", "recomp-s",
+		"peak-live-gib", "peak-resv-gib", "tok/s", "goodput", "slo-met%",
+		"ttft-p95", "tbt-p95")
+	rows, err := sweep.Rows(ctx, pts, func(ctx context.Context, p CapacityPoint) ([]any, error) {
+		cfg := sys
+		switch p.Alloc {
+		case "static":
+			cfg.Tech.DPA = false
+		case "dpa":
+			cfg.Tech.DPA = true
+		default:
+			return nil, fmt.Errorf("serve: unknown allocator %q (static, dpa)", p.Alloc)
+		}
+		pol, err := PolicyByName(policy)
+		if err != nil {
+			return nil, err
+		}
+		arr, err := mkArrivals(p.Rate)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := Run(ctx, Config{System: cfg, Replicas: p.Replicas, Policy: pol, SLO: slo}, arr)
+		if err != nil {
+			return nil, fmt.Errorf("%s x%d @ %g req/s: %w", p.Alloc, p.Replicas, p.Rate, err)
+		}
+		gib := func(b int64) float64 { return float64(b) / float64(1<<30) }
+		ms := func(v float64) float64 { return 1e3 * v }
+		c := rep.Capacity
+		return []any{p.Alloc, p.Replicas, p.Rate, c.MaxActive, c.Preemptions,
+			c.BlockedSeconds, c.RecomputeSeconds, gib(c.PeakLiveBytes), gib(c.PeakReservedBytes),
+			rep.Throughput, rep.Goodput, 100 * rep.SLOMet,
+			ms(rep.TTFT.P95), ms(rep.TBT.P95)}, nil
+	}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		t.AddRow(r...)
+	}
+	return t, nil
+}

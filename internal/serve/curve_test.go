@@ -55,3 +55,48 @@ func TestCurveTableErrors(t *testing.T) {
 		t.Error("unknown policy should error")
 	}
 }
+
+// TestCapacityTable: the Static-vs-DPA renderer must produce one row
+// per point with the alloc column intact, be byte-identical at any
+// sweep parallelism, and reject unknown allocator names.
+func TestCapacityTable(t *testing.T) {
+	cfg := testSystem()
+	cfg.KVBudgetBytes = 32 << 30
+	mk := func(rate float64) ([]workload.Arrival, error) {
+		gen := workload.NewGenerator(workload.QMSum(), 42)
+		gen.DecodeLen = 4
+		return workload.PoissonArrivals(gen, rate, 4, 10, 43)
+	}
+	pts := []CapacityPoint{
+		{Alloc: "static", Replicas: 1, Rate: 32},
+		{Alloc: "dpa", Replicas: 1, Rate: 32},
+	}
+	render := func(par int) string {
+		t.Helper()
+		prev := sweep.SetDefault(par)
+		defer sweep.SetDefault(prev)
+		tb, err := CapacityTable(context.Background(), "cap", cfg, "round-robin", pts, SLO{}, mk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb.String()
+	}
+	seq := render(1)
+	if par := render(8); par != seq {
+		t.Fatalf("capacity table diverges across parallelism:\n%s\nvs\n%s", seq, par)
+	}
+	tb, err := CapacityTable(context.Background(), "cap", cfg, "round-robin", pts, SLO{}, mk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 || tb.Rows[0][0] != "static" || tb.Rows[1][0] != "dpa" {
+		t.Fatalf("unexpected rows: %v", tb.Rows)
+	}
+	if _, err := CapacityTable(context.Background(), "cap", cfg, "round-robin",
+		[]CapacityPoint{{Alloc: "paged", Replicas: 1, Rate: 1}}, SLO{}, mk); err == nil {
+		t.Error("unknown allocator should error")
+	}
+	if _, err := CapacityTable(context.Background(), "cap", cfg, "nope", pts, SLO{}, mk); err == nil {
+		t.Error("unknown policy should error")
+	}
+}

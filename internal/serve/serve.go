@@ -126,6 +126,45 @@ type ReplicaStats struct {
 	// Utilization is the replica's PIM MAC utilization over its
 	// attention phases.
 	Utilization float64
+	// MaxActive is the replica's largest concurrent admitted batch.
+	MaxActive int
+	// Preemptions counts requests evicted back to the queue when DPA
+	// lazy growth exhausted the replica's pool mid-decode.
+	Preemptions int
+	// BlockedSeconds is decode time spent with at least one request
+	// waiting in the queue (admission-blocked on KV capacity).
+	BlockedSeconds float64
+	// RecomputeSeconds is KV-rebuild time charged for re-admitting
+	// preempted requests.
+	RecomputeSeconds float64
+	// PeakLiveBytes / PeakReservedBytes are the replica allocator's
+	// high-water marks: bytes holding actual KV data vs bytes
+	// unavailable to other requests (T_max reservations or DPA chunks).
+	PeakLiveBytes     int64
+	PeakReservedBytes int64
+}
+
+// CapacityStats aggregates the KV-capacity behaviour of one serving run
+// — the online counterpart of the paper's Fig. 19 pool-utilization
+// study, comparing what an allocation scheme reserved against what it
+// actually used while admission and preemption played out.
+type CapacityStats struct {
+	// Alloc is the KV allocation scheme ("static" or "dpa").
+	Alloc string
+	// PoolBytes is the per-replica KV capacity budget.
+	PoolBytes int64
+	// PeakLiveBytes / PeakReservedBytes are the maxima across replicas.
+	PeakLiveBytes     int64
+	PeakReservedBytes int64
+	// MaxActive is the largest concurrent admitted batch on any replica
+	// — static T_max reservations cap this well below DPA at an equal
+	// budget.
+	MaxActive int
+	// Preemptions and BlockedSeconds / RecomputeSeconds are summed
+	// across replicas.
+	Preemptions      int
+	BlockedSeconds   float64
+	RecomputeSeconds float64
 }
 
 // Report is the outcome of one serving simulation.
@@ -149,6 +188,8 @@ type Report struct {
 	SLOMet float64
 	// Latency distributions across completed requests.
 	TTFT, TBT, E2E Quantiles
+	// Capacity aggregates the KV-allocator behaviour across replicas.
+	Capacity CapacityStats
 	// PerReplica breaks the work down by replica.
 	PerReplica []ReplicaStats
 }
@@ -326,9 +367,32 @@ func (s *sim) report(arrivals []workload.Arrival) (*Report, error) {
 		st.Tokens += rec.tokens
 	}
 	for i, r := range s.replicas {
-		rep.PerReplica[i].Steps = r.eng.Steps()
-		rep.PerReplica[i].BusySeconds = r.eng.BusySeconds()
-		rep.PerReplica[i].Utilization = r.eng.Utilization()
+		st := &rep.PerReplica[i]
+		st.Steps = r.eng.Steps()
+		st.BusySeconds = r.eng.BusySeconds()
+		st.Utilization = r.eng.Utilization()
+		st.MaxActive = r.eng.MaxActive()
+		st.Preemptions = r.eng.Preemptions()
+		st.BlockedSeconds = r.eng.BlockedSeconds()
+		st.RecomputeSeconds = r.eng.RecomputeSeconds()
+		st.PeakLiveBytes = r.eng.PeakLiveBytes()
+		st.PeakReservedBytes = r.eng.PeakReservedBytes()
+
+		c := &rep.Capacity
+		c.Alloc = r.eng.AllocName()
+		c.PoolBytes = r.eng.KVPoolBytes()
+		if st.PeakLiveBytes > c.PeakLiveBytes {
+			c.PeakLiveBytes = st.PeakLiveBytes
+		}
+		if st.PeakReservedBytes > c.PeakReservedBytes {
+			c.PeakReservedBytes = st.PeakReservedBytes
+		}
+		if st.MaxActive > c.MaxActive {
+			c.MaxActive = st.MaxActive
+		}
+		c.Preemptions += st.Preemptions
+		c.BlockedSeconds += st.BlockedSeconds
+		c.RecomputeSeconds += st.RecomputeSeconds
 	}
 	rep.MakespanSeconds = lastDone - firstArrival
 	if rep.MakespanSeconds > 0 {

@@ -277,3 +277,61 @@ func TestQuantiles(t *testing.T) {
 		t.Error("quantiles sorted the caller's slice")
 	}
 }
+
+// TestCapacityStatsReported: a tightly budgeted DPA run must surface
+// the capacity metrics — peaks, max concurrency — and aggregate them
+// consistently with the per-replica breakdown.
+func TestCapacityStatsReported(t *testing.T) {
+	cfg := testSystem()
+	cfg.KVBudgetBytes = 32 << 30
+	arr := testArrivals(t, 16, 64)
+	rep := run(t, Config{System: cfg, Replicas: 2, Policy: RoundRobin()}, arr)
+	c := rep.Capacity
+	if c.Alloc != "dpa" {
+		t.Errorf("alloc %q, want dpa", c.Alloc)
+	}
+	if c.PoolBytes != 32<<30 {
+		t.Errorf("pool %d, want the 32 GiB budget", c.PoolBytes)
+	}
+	if c.PeakLiveBytes <= 0 || c.PeakReservedBytes <= 0 {
+		t.Errorf("peaks not sampled: %+v", c)
+	}
+	if c.PeakLiveBytes > c.PeakReservedBytes {
+		t.Errorf("peak live %d > peak reserved %d", c.PeakLiveBytes, c.PeakReservedBytes)
+	}
+	if c.PeakReservedBytes > c.PoolBytes {
+		t.Errorf("peak reserved %d past the pool %d", c.PeakReservedBytes, c.PoolBytes)
+	}
+	if c.MaxActive <= 0 {
+		t.Error("max active not tracked")
+	}
+	var pre int
+	maxAct := 0
+	for _, st := range rep.PerReplica {
+		pre += st.Preemptions
+		if st.MaxActive > maxAct {
+			maxAct = st.MaxActive
+		}
+		if st.PeakLiveBytes > c.PeakLiveBytes || st.PeakReservedBytes > c.PeakReservedBytes {
+			t.Errorf("aggregate peaks below a replica's: %+v vs %+v", c, st)
+		}
+	}
+	if pre != c.Preemptions || maxAct != c.MaxActive {
+		t.Errorf("aggregate (%d preempt, %d max-act) disagrees with replicas (%d, %d)",
+			c.Preemptions, c.MaxActive, pre, maxAct)
+	}
+	// Static on the same schedule reserves more than it fills.
+	cfg.Tech.DPA = false
+	srep := run(t, Config{System: cfg, Replicas: 2, Policy: RoundRobin()}, arr)
+	if srep.Capacity.Alloc != "static" {
+		t.Errorf("alloc %q, want static", srep.Capacity.Alloc)
+	}
+	if srep.Capacity.PeakReservedBytes <= srep.Capacity.PeakLiveBytes {
+		t.Errorf("static should strand reservation: reserved %d vs live %d",
+			srep.Capacity.PeakReservedBytes, srep.Capacity.PeakLiveBytes)
+	}
+	if srep.Capacity.MaxActive > rep.Capacity.MaxActive {
+		t.Errorf("static admitted more (%d) than DPA (%d) at the same budget",
+			srep.Capacity.MaxActive, rep.Capacity.MaxActive)
+	}
+}

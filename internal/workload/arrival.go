@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 )
 
 // Arrival is one request tagged with its arrival time in an online
@@ -66,6 +67,95 @@ func ReplayArrivals(times []float64, reqs []Request) ([]Arrival, error) {
 		}
 		arr[i] = Arrival{Req: reqs[i], At: times[i], Session: reqs[i].ID}
 	}
+	return arr, nil
+}
+
+// MultiTurnSpec describes a multi-turn conversation workload: sessions
+// whose follow-up turns re-send the whole conversation so far, so each
+// turn's context is the previous turn's context plus everything
+// generated plus the new user prompt — the KV cache of a session keeps
+// re-extending, the long-context growth pattern chat serving must
+// absorb.
+type MultiTurnSpec struct {
+	// Sessions is the number of conversations.
+	Sessions int
+	// Turns is the number of turns per conversation (later turns are
+	// dropped if MaxContext would be exceeded).
+	Turns int
+	// Rate is the session-start rate in sessions per second (Poisson).
+	Rate float64
+	// ThinkMean is the mean think time in seconds between a turn's
+	// arrival and the next turn of the same session (exponential).
+	ThinkMean float64
+	// PromptMin/PromptMax bound the extra user-prompt tokens a
+	// follow-up turn appends (uniform).
+	PromptMin, PromptMax int
+	// MaxContext, when positive, drops the rest of a session once a
+	// turn's context plus its generation would exceed it (a serving
+	// system cannot admit past the model's window anyway).
+	MaxContext int
+}
+
+// Validate reports inconsistent specs.
+func (s MultiTurnSpec) Validate() error {
+	switch {
+	case s.Sessions <= 0 || s.Turns <= 0:
+		return fmt.Errorf("workload: multi-turn needs positive Sessions and Turns")
+	case s.Rate <= 0:
+		return fmt.Errorf("workload: multi-turn session rate must be positive, got %g", s.Rate)
+	case s.ThinkMean < 0:
+		return fmt.Errorf("workload: negative think time %g", s.ThinkMean)
+	case s.PromptMin < 0 || s.PromptMax < s.PromptMin:
+		return fmt.Errorf("workload: prompt-delta bounds [%d,%d] out of range", s.PromptMin, s.PromptMax)
+	}
+	return nil
+}
+
+// MultiTurnArrivals builds a deterministic multi-turn conversation
+// schedule: session starts form a Poisson process at spec.Rate, turn-0
+// contexts come from gen, and every follow-up turn re-extends its
+// session's context by the previous generation plus a fresh prompt
+// delta, arriving one exponential think time after the previous turn.
+// Arrivals are returned sorted by time (sessions interleave); request
+// IDs are session*Turns+turn, so a session's KV growth can be traced
+// back from the ID.
+func MultiTurnArrivals(gen *Generator, spec MultiTurnSpec, seed int64) ([]Arrival, error) {
+	if gen == nil {
+		return nil, fmt.Errorf("workload: MultiTurnArrivals needs a generator")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var arr []Arrival
+	start := 0.0
+	for s := 0; s < spec.Sessions; s++ {
+		start += rng.ExpFloat64() / spec.Rate
+		at := start
+		ctx := gen.SampleContext()
+		for turn := 0; turn < spec.Turns; turn++ {
+			dec := gen.SampleDecode()
+			if spec.MaxContext > 0 && ctx+dec > spec.MaxContext {
+				break // the conversation outgrew the window
+			}
+			arr = append(arr, Arrival{
+				Req:     Request{ID: s*spec.Turns + turn, Context: ctx, Decode: dec},
+				At:      at,
+				Session: s,
+			})
+			ctx += dec + spec.PromptMin + rng.Intn(spec.PromptMax-spec.PromptMin+1)
+			at += rng.ExpFloat64() * spec.ThinkMean
+		}
+	}
+	if len(arr) == 0 {
+		return nil, fmt.Errorf("workload: every session outgrew MaxContext %d on turn 0", spec.MaxContext)
+	}
+	sort.Slice(arr, func(i, j int) bool {
+		if arr[i].At != arr[j].At {
+			return arr[i].At < arr[j].At
+		}
+		return arr[i].Req.ID < arr[j].Req.ID
+	})
 	return arr, nil
 }
 

@@ -2,6 +2,8 @@ package workload
 
 import (
 	"math"
+	"reflect"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -181,5 +183,117 @@ func TestSummarizeSingleAndEven(t *testing.T) {
 	}
 	if even.Mean != 25 || even.Min != 10 || even.Max != 40 || even.N != 4 {
 		t.Errorf("even-count summary wrong: %+v", even)
+	}
+}
+
+func multiTurnSpec() MultiTurnSpec {
+	return MultiTurnSpec{
+		Sessions:   6,
+		Turns:      4,
+		Rate:       2,
+		ThinkMean:  0.5,
+		PromptMin:  64,
+		PromptMax:  256,
+		MaxContext: 32000,
+	}
+}
+
+func TestMultiTurnArrivals(t *testing.T) {
+	gen := NewGenerator(QMSum(), 11)
+	gen.DecodeLen = 32
+	arr, err := MultiTurnArrivals(gen, multiTurnSpec(), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic: same inputs, same schedule.
+	gen2 := NewGenerator(QMSum(), 11)
+	gen2.DecodeLen = 32
+	arr2, err := MultiTurnArrivals(gen2, multiTurnSpec(), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(arr, arr2) {
+		t.Fatal("multi-turn schedule not deterministic")
+	}
+	// Sorted by time, unique IDs.
+	seen := map[int]bool{}
+	for i, a := range arr {
+		if i > 0 && a.At < arr[i-1].At {
+			t.Fatalf("arrivals not sorted at %d", i)
+		}
+		if seen[a.Req.ID] {
+			t.Fatalf("duplicate ID %d", a.Req.ID)
+		}
+		seen[a.Req.ID] = true
+	}
+	// Within a session, each turn re-extends the context by at least
+	// the previous generation plus the minimum prompt delta, and stays
+	// under MaxContext.
+	bySession := map[int][]Arrival{}
+	for _, a := range arr {
+		bySession[a.Session] = append(bySession[a.Session], a)
+	}
+	if len(bySession) != 6 {
+		t.Fatalf("%d sessions, want 6", len(bySession))
+	}
+	spec := multiTurnSpec()
+	for s, turns := range bySession {
+		sort.Slice(turns, func(i, j int) bool { return turns[i].Req.ID < turns[j].Req.ID })
+		for i, a := range turns {
+			if a.Req.Context+a.Req.Decode > spec.MaxContext {
+				t.Errorf("session %d turn %d exceeds MaxContext", s, i)
+			}
+			if i == 0 {
+				continue
+			}
+			prev := turns[i-1]
+			if a.Req.Context < prev.Req.Context+prev.Req.Decode+spec.PromptMin {
+				t.Errorf("session %d turn %d context %d did not re-extend (prev %d+%d)",
+					s, i, a.Req.Context, prev.Req.Context, prev.Req.Decode)
+			}
+			if a.At < prev.At {
+				t.Errorf("session %d turn %d arrives before its predecessor", s, i)
+			}
+		}
+	}
+}
+
+func TestMultiTurnTruncatesAtMaxContext(t *testing.T) {
+	gen := Uniform(10000, 1)
+	gen.DecodeLen = 2000
+	spec := multiTurnSpec()
+	spec.MaxContext = 13000 // turn 0 (10000+2000) fits, turn 1 (12064+2000) does not
+	arr, err := MultiTurnArrivals(gen, spec, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr) != spec.Sessions {
+		t.Fatalf("%d arrivals, want one turn per session (%d)", len(arr), spec.Sessions)
+	}
+	spec.MaxContext = 11000 // even turn 0 outgrows it
+	if _, err := MultiTurnArrivals(gen, spec, 5); err == nil {
+		t.Error("all-truncated schedule should error")
+	}
+}
+
+func TestMultiTurnSpecErrors(t *testing.T) {
+	gen := Uniform(100, 1)
+	if _, err := MultiTurnArrivals(nil, multiTurnSpec(), 1); err == nil {
+		t.Error("nil generator should fail")
+	}
+	cases := []func(*MultiTurnSpec){
+		func(s *MultiTurnSpec) { s.Sessions = 0 },
+		func(s *MultiTurnSpec) { s.Turns = 0 },
+		func(s *MultiTurnSpec) { s.Rate = 0 },
+		func(s *MultiTurnSpec) { s.ThinkMean = -1 },
+		func(s *MultiTurnSpec) { s.PromptMin = -1 },
+		func(s *MultiTurnSpec) { s.PromptMax = s.PromptMin - 1 },
+	}
+	for i, mut := range cases {
+		spec := multiTurnSpec()
+		mut(&spec)
+		if _, err := MultiTurnArrivals(gen, spec, 1); err == nil {
+			t.Errorf("case %d: bad spec accepted", i)
+		}
 	}
 }

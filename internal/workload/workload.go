@@ -56,8 +56,10 @@ func ByName(name string) (Trace, error) {
 }
 
 // GeneratorByFlag builds a generator from the trace argument the CLI
-// binaries share: a Table II trace name (ByName) or "uniform:<tokens>"
-// for a fixed-length microbenchmark workload.
+// binaries share: a Table II trace name (ByName), "uniform:<tokens>"
+// for a fixed-length microbenchmark workload, or
+// "heavy:<min>-<max>[:alpha]" for a bounded-Pareto heavy-tailed one
+// (alpha defaults to 1.2).
 func GeneratorByFlag(name string, seed int64) (*Generator, error) {
 	if rest, ok := strings.CutPrefix(name, "uniform:"); ok {
 		tokens, err := strconv.Atoi(rest)
@@ -65,6 +67,26 @@ func GeneratorByFlag(name string, seed int64) (*Generator, error) {
 			return nil, fmt.Errorf("workload: bad uniform trace %q (want uniform:<tokens>)", name)
 		}
 		return Uniform(tokens, seed), nil
+	}
+	if rest, ok := strings.CutPrefix(name, "heavy:"); ok {
+		alpha := 1.2
+		if bounds, alphaStr, hasAlpha := strings.Cut(rest, ":"); hasAlpha {
+			v, err := strconv.ParseFloat(alphaStr, 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: bad heavy-tail alpha in %q", name)
+			}
+			alpha, rest = v, bounds
+		}
+		loStr, hiStr, ok := strings.Cut(rest, "-")
+		if !ok {
+			return nil, fmt.Errorf("workload: bad heavy trace %q (want heavy:<min>-<max>[:alpha])", name)
+		}
+		lo, err1 := strconv.Atoi(loStr)
+		hi, err2 := strconv.Atoi(hiStr)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("workload: bad heavy trace %q (want heavy:<min>-<max>[:alpha])", name)
+		}
+		return HeavyTailed(lo, hi, alpha, seed)
 	}
 	tr, err := ByName(name)
 	if err != nil {
@@ -102,7 +124,13 @@ type Generator struct {
 	// throughput metric is decode tokens/sec; a fixed modest generation
 	// window mirrors the LongBench answer lengths.
 	DecodeLen int
-	next      int
+	// sampleCtx, when set, replaces the truncated-normal context sampler
+	// (HeavyTailed installs a bounded-Pareto draw).
+	sampleCtx func(*rand.Rand) int
+	// sampleDecode, when set, replaces the fixed DecodeLen
+	// (HeavyTailDecode installs a bounded-Pareto draw).
+	sampleDecode func(*rand.Rand) int
+	next         int
 }
 
 // NewGenerator creates a deterministic generator for a trace.
@@ -114,8 +142,11 @@ func NewGenerator(t Trace, seed int64) *Generator {
 func (g *Generator) Trace() Trace { return g.trace }
 
 // SampleContext draws one context length from the truncated normal fit of
-// the trace statistics.
+// the trace statistics (or the generator's custom sampler, if installed).
 func (g *Generator) SampleContext() int {
+	if g.sampleCtx != nil {
+		return g.sampleCtx(g.rng)
+	}
 	for {
 		v := g.trace.Mean + g.trace.Std*g.rng.NormFloat64()
 		if v >= float64(g.trace.Min) && v <= float64(g.trace.Max) {
@@ -124,9 +155,18 @@ func (g *Generator) SampleContext() int {
 	}
 }
 
+// SampleDecode draws one generation length: the fixed DecodeLen unless a
+// heavy-tailed decode distribution is installed (HeavyTailDecode).
+func (g *Generator) SampleDecode() int {
+	if g.sampleDecode != nil {
+		return g.sampleDecode(g.rng)
+	}
+	return g.DecodeLen
+}
+
 // Next produces the next request.
 func (g *Generator) Next() Request {
-	r := Request{ID: g.next, Context: g.SampleContext(), Decode: g.DecodeLen}
+	r := Request{ID: g.next, Context: g.SampleContext(), Decode: g.SampleDecode()}
 	g.next++
 	return r
 }
@@ -165,6 +205,72 @@ func ThreeSigma(meanContext int, seed int64) *Generator {
 func Uniform(n int, seed int64) *Generator {
 	t := Trace{Name: fmt.Sprintf("uniform-%d", n), Suite: "synthetic", Mean: float64(n), Std: 0, Min: n, Max: n}
 	return NewGenerator(t, seed)
+}
+
+// ---------------------------------------------------------------------------
+// Heavy-tailed workloads (serving scenario diversity beyond Table II)
+// ---------------------------------------------------------------------------
+
+// boundedPareto draws from a Pareto distribution with tail index alpha
+// truncated to [lo, hi], via the inverse CDF. Small alpha (≈1) puts
+// real mass on the extreme contexts that stress KV capacity; large
+// alpha concentrates near lo.
+func boundedPareto(rng *rand.Rand, lo, hi float64, alpha float64) float64 {
+	u := rng.Float64()
+	r := math.Pow(lo/hi, alpha)
+	return lo / math.Pow(1-u*(1-r), 1/alpha)
+}
+
+// boundedParetoMean is the analytic mean of the bounded Pareto.
+func boundedParetoMean(lo, hi, alpha float64) float64 {
+	if alpha == 1 {
+		return lo * hi / (hi - lo) * math.Log(hi/lo)
+	}
+	r := math.Pow(lo/hi, alpha)
+	return alpha * math.Pow(lo, alpha) / (1 - r) *
+		(math.Pow(hi, 1-alpha) - math.Pow(lo, 1-alpha)) / (1 - alpha)
+}
+
+// HeavyTailed builds a generator whose context lengths follow a bounded
+// Pareto (power-law) distribution on [minCtx, maxCtx] with tail index
+// alpha — mostly modest prompts with a fat tail of near-window ones,
+// the mix that makes static T_max reservation waste the most capacity
+// (every small request still reserves for the tail).
+func HeavyTailed(minCtx, maxCtx int, alpha float64, seed int64) (*Generator, error) {
+	if minCtx <= 0 || maxCtx <= minCtx || alpha <= 0 {
+		return nil, fmt.Errorf("workload: heavy-tailed params out of range (min %d, max %d, alpha %g)",
+			minCtx, maxCtx, alpha)
+	}
+	mean := boundedParetoMean(float64(minCtx), float64(maxCtx), alpha)
+	t := Trace{
+		Name:  fmt.Sprintf("heavy-%d-%d", minCtx, maxCtx),
+		Suite: "synthetic",
+		Mean:  mean,
+		Std:   mean, // descriptive: heavy tails have std on the order of the mean
+		Min:   minCtx,
+		Max:   maxCtx,
+	}
+	g := NewGenerator(t, seed)
+	g.sampleCtx = func(rng *rand.Rand) int {
+		return int(boundedPareto(rng, float64(minCtx), float64(maxCtx), alpha))
+	}
+	return g, nil
+}
+
+// HeavyTailDecode switches the generator's generation lengths from the
+// fixed DecodeLen to a bounded Pareto draw on [minDec, maxDec]: most
+// answers short, a fat tail of long generations that keep growing their
+// KV — the decode-side pressure DPA's lazy chunks absorb and static
+// reservation pre-pays for.
+func (g *Generator) HeavyTailDecode(minDec, maxDec int, alpha float64) error {
+	if minDec <= 0 || maxDec <= minDec || alpha <= 0 {
+		return fmt.Errorf("workload: heavy-tailed decode params out of range (min %d, max %d, alpha %g)",
+			minDec, maxDec, alpha)
+	}
+	g.sampleDecode = func(rng *rand.Rand) int {
+		return int(boundedPareto(rng, float64(minDec), float64(maxDec), alpha))
+	}
+	return nil
 }
 
 // ---------------------------------------------------------------------------

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -142,6 +143,96 @@ func TestValidateCatchesBadTraces(t *testing.T) {
 	for _, tr := range bad {
 		if err := tr.Validate(); err == nil {
 			t.Errorf("trace %s should fail validation", tr.Name)
+		}
+	}
+}
+
+func TestHeavyTailedBoundsAndDeterminism(t *testing.T) {
+	mk := func() *Generator {
+		g, err := HeavyTailed(2048, 30000, 1.1, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.HeavyTailDecode(16, 256, 1.1); err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	a, b := mk().Batch(4000), mk().Batch(4000)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("heavy-tailed generator not deterministic")
+	}
+	tr := mk().Trace()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("synthetic trace stats invalid: %v", err)
+	}
+	small, big := 0, 0
+	for _, r := range a {
+		if r.Context < 2048 || r.Context > 30000 {
+			t.Fatalf("context %d outside [2048,30000]", r.Context)
+		}
+		if r.Decode < 16 || r.Decode > 256 {
+			t.Fatalf("decode %d outside [16,256]", r.Decode)
+		}
+		if r.Context < 2*2048 {
+			small++
+		}
+		if r.Context > 15000 {
+			big++
+		}
+	}
+	// Power-law shape: the bulk sits near the minimum, yet the tail is
+	// populated — a truncated normal with these bounds has essentially
+	// no mass at both extremes at once.
+	if small < len(a)/2 {
+		t.Errorf("only %d/%d requests near the minimum; not heavy-bodied", small, len(a))
+	}
+	if big == 0 {
+		t.Error("no requests in the tail; not heavy-tailed")
+	}
+	mean := boundedParetoMean(2048, 30000, 1.1)
+	if got := Summarize(a).Mean; got < 0.9*mean || got > 1.1*mean {
+		t.Errorf("sample mean %.0f far from analytic %.0f", got, mean)
+	}
+	// Alpha = 1 uses the closed-form log mean; sanity-check it too.
+	if m := boundedParetoMean(100, 1000, 1); m <= 100 || m >= 1000 {
+		t.Errorf("alpha=1 mean %.1f outside bounds", m)
+	}
+}
+
+func TestHeavyTailedErrors(t *testing.T) {
+	if _, err := HeavyTailed(0, 100, 1.2, 1); err == nil {
+		t.Error("zero min should fail")
+	}
+	if _, err := HeavyTailed(100, 100, 1.2, 1); err == nil {
+		t.Error("max == min should fail")
+	}
+	if _, err := HeavyTailed(100, 200, 0, 1); err == nil {
+		t.Error("zero alpha should fail")
+	}
+	g := Uniform(64, 1)
+	if err := g.HeavyTailDecode(0, 10, 1.2); err == nil {
+		t.Error("zero decode min should fail")
+	}
+	if err := g.HeavyTailDecode(10, 5, 1.2); err == nil {
+		t.Error("inverted decode bounds should fail")
+	}
+}
+
+func TestGeneratorByFlagHeavy(t *testing.T) {
+	g, err := GeneratorByFlag("heavy:1024-8192", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr := g.Trace(); tr.Min != 1024 || tr.Max != 8192 {
+		t.Errorf("bounds [%d,%d], want [1024,8192]", tr.Min, tr.Max)
+	}
+	if _, err := GeneratorByFlag("heavy:1024-8192:2.5", 3); err != nil {
+		t.Errorf("explicit alpha rejected: %v", err)
+	}
+	for _, bad := range []string{"heavy:1024", "heavy:a-b", "heavy:1024-8192:x", "heavy:8192-1024"} {
+		if _, err := GeneratorByFlag(bad, 3); err == nil {
+			t.Errorf("%q should fail", bad)
 		}
 	}
 }
