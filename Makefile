@@ -3,7 +3,10 @@
 
 GO ?= go
 
-.PHONY: all fmt fmt-check vet staticcheck build examples test test-short bench bench-check bench-baseline ci
+# Statement-coverage floor for the system-backend seam (make cover / CI).
+BACKEND_COVER_MIN ?= 80
+
+.PHONY: all fmt fmt-check vet staticcheck build examples test test-short bench bench-check bench-baseline cover ci
 
 all: build
 
@@ -62,4 +65,17 @@ bench-check:
 bench-baseline:
 	$(GO) run ./cmd/pimphony-bench -short -gate-emit bench/baseline.json
 
-ci: fmt-check vet staticcheck build examples test-short bench bench-check
+# Coverage: a whole-tree profile (coverage.out, the CI artifact) plus a
+# gate on the system-backend seam — internal/backend below
+# $(BACKEND_COVER_MIN)% statement coverage fails the target. The backend
+# profile counts only the package's own tests, so the seam stays
+# directly tested rather than incidentally covered through the stack.
+cover:
+	$(GO) test -short -coverprofile=coverage.out ./...
+	$(GO) test -short -coverprofile=coverage-backend.out -coverpkg=./internal/backend ./internal/backend
+	@pct=$$($(GO) tool cover -func=coverage-backend.out | awk '/^total:/ { gsub(/%/, "", $$3); print $$3 }'); \
+	echo "internal/backend statement coverage: $$pct% (floor $(BACKEND_COVER_MIN)%)"; \
+	awk -v p="$$pct" -v min="$(BACKEND_COVER_MIN)" 'BEGIN { exit (p + 0 < min) ? 1 : 0 }' || \
+		{ echo "internal/backend coverage $$pct% is below $(BACKEND_COVER_MIN)%" >&2; exit 1; }
+
+ci: fmt-check vet staticcheck build examples test-short bench bench-check cover

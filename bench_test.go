@@ -152,3 +152,13 @@ func BenchmarkServeCurve(b *testing.B) { runExperiment(b, "serve") }
 // per-replica KV budget, with admission, preemption and pool
 // high-water-mark metrics next to the latency–goodput gap.
 func BenchmarkCapacityGap(b *testing.B) { runExperiment(b, "capacity") }
+
+// ---------------------------------------------------------------------------
+// Cross-backend comparison over the system-backend registry
+// ---------------------------------------------------------------------------
+
+// BenchmarkSystemsCompare regenerates the cross-backend table: every
+// registered system organisation (pim-only, xpu+pim, gpu, dimm-pim)
+// priced on the shared (model, trace) grid through the unified step
+// loop.
+func BenchmarkSystemsCompare(b *testing.B) { runExperiment(b, "systems") }

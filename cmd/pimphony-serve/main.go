@@ -14,9 +14,16 @@
 // -turns switches the workload to multi-turn conversations whose
 // contexts re-extend every turn.
 //
+// The -system flag resolves through the backend registry: every
+// registered system organisation is servable, including the GPU
+// baseline (admitted against its paged pool) and the DIMM-PIM system;
+// -list enumerates backends and experiments.
+//
 // Examples:
 //
+//	pimphony-serve -list
 //	pimphony-serve -system cent -model 7b-32k -trace QMSum
+//	pimphony-serve -system gpu -rate 50,100 -replicas 1,2
 //	pimphony-serve -rate 50,100,200 -replicas 1,2,4 -policy round-robin,least-tokens
 //	pimphony-serve -rate 100 -policy session -sessions 4 -slo-ttft 50
 //	pimphony-serve -capacity -kv-budget 32 -trace heavy:2048-30000 -rate 32,96
@@ -27,16 +34,29 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"strconv"
 	"strings"
 
+	"pimphony/internal/cluster"
 	"pimphony/internal/core"
+	"pimphony/internal/experiments"
 	"pimphony/internal/model"
 	"pimphony/internal/serve"
 	"pimphony/internal/sweep"
 	"pimphony/internal/workload"
 )
+
+// printCatalog renders the shared backend/experiment catalog with the
+// serving-specific policy list between the sections.
+func printCatalog() {
+	experiments.Catalog(os.Stdout, func(w io.Writer) {
+		fmt.Fprintln(w, "\nload-balancing policies (-policy):")
+		fmt.Fprintf(w, "  %s\n", strings.Join(serve.PolicyNames(), ", "))
+	})
+}
 
 func splitInts(s string) ([]int, error) {
 	var out []int
@@ -63,7 +83,7 @@ func splitFloats(s string) ([]float64, error) {
 }
 
 func main() {
-	system := flag.String("system", "cent", "system preset: cent, neupims (GPU systems are not servable)")
+	system := flag.String("system", "cent", "system backend: a registry name or preset alias; see -list")
 	modelName := flag.String("model", "7b-32k", "model: 7b-32k, 7b-128k-gqa, 72b-32k, 72b-128k-gqa")
 	traceName := flag.String("trace", "QMSum", "workload: QMSum, Musique, multifieldqa, Loogle-SD, or uniform:<tokens>")
 	decode := flag.Int("decode", 32, "generation length per request (tokens)")
@@ -84,25 +104,37 @@ func main() {
 	seed := flag.Int64("seed", 42, "RNG seed for request sizes and arrival times")
 	parallel := flag.Int("parallel", 0, "sweep worker bound, 0 = GOMAXPROCS (1 reproduces fully sequential runs)")
 	csv := flag.Bool("csv", false, "emit CSV instead of the aligned table")
+	list := flag.Bool("list", false, "list registered backends and experiments with descriptions, then exit")
 	flag.Parse()
+
+	if *list {
+		printCatalog()
+		return
+	}
 
 	sweep.SetDefault(*parallel)
 	m, err := model.ByFlag(*modelName)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var sysCfg core.Config
-	switch strings.ToLower(*system) {
-	case "cent":
-		sysCfg = core.CENT(m, core.PIMphony())
-	case "neupims":
-		sysCfg = core.NeuPIMs(m, core.PIMphony())
-	default:
-		log.Fatalf("unknown system %q (cent, neupims)", *system)
+	preset, err := core.PresetByFlag(*system)
+	if err != nil {
+		log.Fatal(err)
 	}
+	sysCfg := preset.Make(m, core.PIMphony())
 	if *kvBudget > 0 {
 		sysCfg.KVBudgetBytes = int64(*kvBudget * float64(1<<30))
 	}
+	// Probe whether the backend owns its allocator (the GPU's paged
+	// pool): the -alloc/-capacity static-vs-dpa toggles act through the
+	// technique-selected allocator and are inapplicable there — derived
+	// from the backend's admission semantics, not its name, so a future
+	// fixed-allocator backend is caught too.
+	probe, err := cluster.New(sysCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fixedAlloc := probe.FixedAllocator()
 
 	rateList, err := splitFloats(*rates)
 	if err != nil {
@@ -160,6 +192,9 @@ func main() {
 		if *prefill {
 			log.Fatal("-prefill is not supported in -capacity mode (the capacity table reports decode-side latencies only)")
 		}
+		if fixedAlloc {
+			log.Fatalf("-capacity compares the static and dpa KV allocators; the %s backend admits against its own fixed pool", sysCfg.Backend)
+		}
 		allocList := strings.TrimSpace(*alloc)
 		if allocList == "" {
 			allocList = "static,dpa"
@@ -203,6 +238,9 @@ func main() {
 		sysCfg.Tech.DPA = false
 	default:
 		log.Fatalf("unknown allocator %q (static, dpa; comma-separated sweeps need -capacity)", *alloc)
+	}
+	if fixedAlloc && strings.TrimSpace(*alloc) != "" {
+		log.Fatalf("-alloc selects the technique KV allocator; the %s backend always admits against its own fixed pool", sysCfg.Backend)
 	}
 	var pts []serve.CurvePoint
 	for _, pol := range strings.Split(*policies, ",") {

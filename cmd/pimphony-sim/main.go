@@ -1,13 +1,17 @@
 // Command pimphony-sim runs end-to-end decode simulations with explicit
 // knobs, printing throughput, utilization and energy. Comma-separated
 // -system/-model/-trace values sweep the full cross product through the
-// parallel sweep engine and print one summary row per point.
+// parallel sweep engine and print one summary row per point. The
+// -system flag resolves through the backend registry: any registered
+// system organisation (pim-only, xpu+pim, gpu, dimm-pim) or its preset
+// alias (cent, neupims, a100, l3) is accepted; -list enumerates them.
 //
 // Examples:
 //
+//	pimphony-sim -list
 //	pimphony-sim -system cent -model 7b-32k -trace QMSum
 //	pimphony-sim -system neupims -model 72b-128k-gqa -trace multifieldqa -tcp=false
-//	pimphony-sim -system cent,neupims -model 7b-32k,7b-128k-gqa -trace QMSum -parallel 8
+//	pimphony-sim -system cent,gpu,dimm-pim -model 7b-32k,7b-128k-gqa -trace QMSum -parallel 8
 package main
 
 import (
@@ -15,9 +19,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
+	"pimphony/internal/backend"
 	"pimphony/internal/core"
+	"pimphony/internal/experiments"
 	"pimphony/internal/model"
 	"pimphony/internal/sweep"
 	"pimphony/internal/tablefmt"
@@ -33,7 +40,7 @@ type point struct {
 }
 
 func main() {
-	system := flag.String("system", "cent", "system preset(s): cent, neupims, gpu (comma-separated sweeps the grid)")
+	system := flag.String("system", "cent", "system backend(s): registry names or preset aliases; see -list (comma-separated sweeps the grid)")
 	modelName := flag.String("model", "7b-32k", "model(s): 7b-32k, 7b-128k-gqa, 72b-32k, 72b-128k-gqa (comma-separated)")
 	traceName := flag.String("trace", "QMSum", "workload(s): QMSum, Musique, multifieldqa, Loogle-SD, or uniform:<tokens> (comma-separated)")
 	tcp := flag.Bool("tcp", true, "enable token-centric partitioning")
@@ -45,7 +52,13 @@ func main() {
 	pool := flag.Int("pool", 64, "candidate request pool size")
 	seed := flag.Int64("seed", 42, "workload RNG seed")
 	parallel := flag.Int("parallel", 0, "worker bound per sweep level, 0 = GOMAXPROCS (nested sweeps each apply their own bound; 1 reproduces fully sequential runs)")
+	list := flag.Bool("list", false, "list registered backends and experiments with descriptions, then exit")
 	flag.Parse()
+
+	if *list {
+		experiments.Catalog(os.Stdout, nil)
+		return
+	}
 
 	sweep.SetDefault(*parallel)
 	tech := core.Technique{TCP: *tcp, DCS: *dcs, DPA: *dpa}
@@ -67,22 +80,16 @@ func main() {
 
 	var pts []point
 	for _, sysName := range strings.Split(*system, ",") {
+		preset, err := core.PresetByFlag(sysName)
+		if err != nil {
+			log.Fatal(err)
+		}
 		for _, mName := range strings.Split(*modelName, ",") {
 			m, err := model.ByFlag(strings.TrimSpace(mName))
 			if err != nil {
 				log.Fatal(err)
 			}
-			var cfg core.Config
-			switch strings.ToLower(strings.TrimSpace(sysName)) {
-			case "cent":
-				cfg = core.CENT(m, tech)
-			case "neupims":
-				cfg = core.NeuPIMs(m, tech)
-			case "gpu":
-				cfg = core.GPU(m)
-			default:
-				log.Fatalf("unknown system %q (cent, neupims, gpu)", sysName)
-			}
+			cfg := preset.Make(m, tech)
 			if *tp > 0 && *pp > 0 {
 				cfg.TP, cfg.PP = *tp, *pp
 			}
@@ -127,8 +134,8 @@ func main() {
 }
 
 func printSingle(cfg core.Config, rep *core.Report, tcp, dcs, dpa bool) {
-	fmt.Printf("system           %s (%s)\n", cfg.Name, rep.Kind)
-	if cfg.Kind != 2 { // not GPU
+	fmt.Printf("system           %s (%s)\n", cfg.Name, rep.Backend)
+	if cfg.Backend != backend.GPU {
 		fmt.Printf("parallelism      TP=%d PP=%d over %d modules\n", cfg.TP, cfg.PP, cfg.Modules)
 	}
 	fmt.Printf("techniques       TCP=%v DCS=%v DPA=%v\n", tcp, dcs, dpa)

@@ -1,0 +1,79 @@
+package backend
+
+import (
+	"context"
+	"fmt"
+
+	"pimphony/internal/energy"
+	"pimphony/internal/memory"
+	"pimphony/internal/workload"
+	"pimphony/internal/xpu"
+)
+
+// gpu is the A100 flash-decoding + paged-attention baseline of Fig. 20.
+// It prices the whole iteration on the GPU rooflines (batched-GEMM FC
+// plus KV-streaming attention) and admits against a paged pool: the
+// post-weights capacity derated by the paged-attention efficiency,
+// packed greedily with upfront per-request reservations — the exact
+// semantics of the pre-refactor dedicated GPU path, now expressed
+// through the same admitter and step loop as every other backend (which
+// is what gives the GPU baseline serving-engine support).
+type gpu struct{}
+
+func init() { Register(gpu{}) }
+
+func (gpu) Name() string { return GPU }
+
+func (gpu) Describe() string {
+	return "A100 GPU baseline with flash-decoding and paged-attention"
+}
+
+func (gpu) PIMAttention() bool { return false }
+
+func (gpu) Validate(env *Env) error {
+	if env.GPUs <= 0 {
+		return fmt.Errorf("cluster %s: GPU system needs GPUs > 0", env.Name)
+	}
+	return nil
+}
+
+func (gpu) CapacityBytes(env *Env) int64 {
+	return int64(env.GPUs) * xpu.A100().MemBytes
+}
+
+func (gpu) Admission(env *Env) Admission {
+	g := xpu.A100()
+	return Admission{
+		PoolScale:        g.PagedAttentionEff,
+		SkipUnfit:        true,
+		ReserveHorizon:   true,
+		UnclampedHorizon: true,
+		ReportedUtil:     g.PagedAttentionEff,
+		NewAllocator: func(pool, bytesPerToken int64, _ int) (memory.Allocator, error) {
+			return memory.NewPaged(pool, bytesPerToken)
+		},
+	}
+}
+
+func (gpu) Step(_ context.Context, env *Env, batch []workload.Request, tokensOf TokensOf) (StepCost, error) {
+	g := xpu.A100()
+	m := env.Model
+	var kv int64
+	for _, r := range batch {
+		kv += m.KVBytes(tokensOf(r))
+	}
+	fc := g.OpTime(int64(len(batch))*m.FCFlopsPerToken()/int64(env.GPUs), m.WeightBytes()/int64(env.GPUs))
+	attn := g.AttentionTime(kv / int64(env.GPUs))
+	return StepCost{Seconds: fc + attn, AttnShare: attn / (fc + attn)}, nil
+}
+
+// IterEnergy is zero: the module energy model covers PIM systems only.
+func (gpu) IterEnergy(*Env, StepCost, int) (attn, fc energy.Breakdown) {
+	return energy.Breakdown{}, energy.Breakdown{}
+}
+
+func (gpu) PrefillSeconds(env *Env, context int) float64 {
+	g := xpu.A100()
+	flops := prefillFlops(env.Model, context)
+	return g.OpTime(flops/int64(env.GPUs), env.Model.WeightBytes()/int64(env.GPUs))
+}

@@ -31,9 +31,10 @@ import (
 // Schema is the current file-format version.
 const Schema = 1
 
-// DefaultIDs are the gated experiments: the serving-path studies whose
-// tables CI pins (the batch figures are covered by the bench smoke).
-func DefaultIDs() []string { return []string{"capacity", "serve"} }
+// DefaultIDs are the gated experiments: the serving-path studies plus
+// the cross-backend comparison, whose tables CI pins (the batch figures
+// are covered by the bench smoke).
+func DefaultIDs() []string { return []string{"capacity", "serve", "systems"} }
 
 // Entry is one experiment's measurement.
 type Entry struct {

@@ -1,9 +1,13 @@
 // Package cluster composes the channel-level performance model into the
-// multi-node decode simulator the paper's end-to-end evaluation needs. It
-// models PIM-only nodes in the style of CENT (near-memory PNM units execute
-// the FC projections, PIM channels execute attention), heterogeneous
-// xPU+PIM nodes in the style of NeuPIMs (an NPU executes batched GEMM,
-// overlapped with PIM attention), and the A100 GPU baseline of Fig. 20.
+// multi-node decode simulator the paper's end-to-end evaluation needs.
+// The system organisations themselves — PIM-only nodes in the style of
+// CENT, heterogeneous xPU+PIM nodes in the style of NeuPIMs, the A100
+// GPU baseline of Fig. 20, and an L3/LoL-PIM-style DIMM-PIM system —
+// live behind the internal/backend seam: this package owns the
+// backend-agnostic step loop (admission against a KV allocator,
+// iteration pricing, growth, retirement, energy accrual) and asks the
+// configured backend to price each phase. Adding a system organisation
+// is a backend.Register call, not a fork of the loops here.
 //
 // Parallelism follows Sec. II-C: tensor parallelism (TP) shards KV heads
 // and FC weights across modules with a per-layer all-reduce, and pipeline
@@ -17,61 +21,45 @@ import (
 	"context"
 	"fmt"
 
+	"pimphony/internal/backend"
 	"pimphony/internal/energy"
 	"pimphony/internal/hub"
-	"pimphony/internal/mapping"
 	"pimphony/internal/memory"
 	"pimphony/internal/model"
 	"pimphony/internal/perfmodel"
 	"pimphony/internal/sweep"
 	"pimphony/internal/timing"
 	"pimphony/internal/workload"
-	"pimphony/internal/xpu"
 )
 
-// Kind selects the system organisation.
-type Kind uint8
-
+// Re-exported backend names: the values Config.Backend accepts. The
+// full set (including backends registered later) is backend.Names().
 const (
 	// PIMOnly is a CENT-style system: FC on per-module PNM, attention on PIM.
-	PIMOnly Kind = iota
+	PIMOnly = backend.PIMOnly
 	// XPUPIM is a NeuPIMs-style system: FC on an NPU, attention on PIM.
-	XPUPIM
+	XPUPIM = backend.XPUPIM
 	// GPUSystem is the A100 flash-decoding + paged-attention baseline.
-	GPUSystem
+	GPUSystem = backend.GPU
+	// DIMMPIM is an L3/LoL-PIM-style system: host-GPU FC, DIMM-PIM attention.
+	DIMMPIM = backend.DIMMPIM
 )
 
-// String implements fmt.Stringer.
-func (k Kind) String() string {
-	switch k {
-	case PIMOnly:
-		return "pim-only"
-	case XPUPIM:
-		return "xpu+pim"
-	case GPUSystem:
-		return "gpu"
-	default:
-		return fmt.Sprintf("Kind(%d)", uint8(k))
-	}
-}
-
 // Technique toggles PIMphony's three co-designed techniques.
-type Technique struct {
-	TCP bool // token-centric partitioning (vs head-first)
-	DCS bool // dynamic command scheduling + I/O-aware buffering (vs static)
-	DPA bool // dynamic PIM access / lazy KV allocation (vs T_max reservation)
-}
+type Technique = backend.Technique
 
 // Baseline is the all-off configuration.
-func Baseline() Technique { return Technique{} }
+func Baseline() Technique { return backend.Baseline() }
 
 // PIMphony is the all-on configuration.
-func PIMphony() Technique { return Technique{TCP: true, DCS: true, DPA: true} }
+func PIMphony() Technique { return backend.PIMphony() }
 
 // Config describes one simulated system.
 type Config struct {
-	Name    string
-	Kind    Kind
+	Name string
+	// Backend selects the system organisation by registry name
+	// (backend.Names()); empty means PIMOnly.
+	Backend string
 	Dev     timing.Device
 	Modules int
 	TP, PP  int
@@ -99,44 +87,55 @@ type Config struct {
 	ContinuousBatching bool
 }
 
-// Validate reports configuration errors.
-func (c *Config) Validate() error {
+// env builds the backend pricing environment for this configuration.
+// The services (perfmodel, hub, energy) are attached by New; a bare env
+// suffices for validation.
+func (c *Config) env() *backend.Env {
+	return &backend.Env{
+		Name:     c.Name,
+		Dev:      c.Dev,
+		Modules:  c.Modules,
+		TP:       c.TP,
+		PP:       c.PP,
+		GPUs:     c.GPUs,
+		Model:    c.Model,
+		Tech:     c.Tech,
+		RowReuse: c.RowReuse,
+	}
+}
+
+// validate resolves the backend and checks the configuration; Validate
+// and New share it, so the backend a config validates against is the
+// one New prices with.
+func (c *Config) validate() (backend.Backend, *backend.Env, error) {
 	if err := c.Model.Validate(); err != nil {
-		return err
+		return nil, nil, err
 	}
 	if c.KVBudgetBytes < 0 {
-		return fmt.Errorf("cluster %s: KVBudgetBytes must be non-negative", c.Name)
+		return nil, nil, fmt.Errorf("cluster %s: KVBudgetBytes must be non-negative", c.Name)
 	}
-	if c.Kind == GPUSystem {
-		if c.GPUs <= 0 {
-			return fmt.Errorf("cluster %s: GPU system needs GPUs > 0", c.Name)
-		}
-		return nil
+	be, err := backend.Lookup(c.Backend)
+	if err != nil {
+		return nil, nil, err
 	}
-	if err := c.Dev.Validate(); err != nil {
-		return err
+	env := c.env()
+	if err := be.Validate(env); err != nil {
+		return nil, nil, err
 	}
-	switch {
-	case c.Modules <= 0:
-		return fmt.Errorf("cluster %s: Modules must be positive", c.Name)
-	case c.TP <= 0 || c.PP <= 0:
-		return fmt.Errorf("cluster %s: TP and PP must be positive", c.Name)
-	case c.TP*c.PP != c.Modules:
-		return fmt.Errorf("cluster %s: TP(%d) x PP(%d) != Modules(%d)", c.Name, c.TP, c.PP, c.Modules)
-	case c.TP > c.Model.KVHeads() && c.TP%c.Model.KVHeads() != 0:
-		return fmt.Errorf("cluster %s: TP(%d) beyond KV heads (%d) must shard tokens evenly", c.Name, c.TP, c.Model.KVHeads())
-	case c.TP < c.Model.KVHeads() && c.Model.KVHeads()%c.TP != 0:
-		return fmt.Errorf("cluster %s: TP(%d) must divide KV heads (%d)", c.Name, c.TP, c.Model.KVHeads())
-	case c.Model.Layers%c.PP != 0:
-		return fmt.Errorf("cluster %s: PP(%d) must divide layers (%d)", c.Name, c.PP, c.Model.Layers)
-	}
-	return nil
+	return be, env, nil
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	_, _, err := c.validate()
+	return err
 }
 
 // Report is the outcome of one simulation.
 type Report struct {
-	Config       string
-	Kind         Kind
+	Config string
+	// Backend is the system organisation's registry name.
+	Backend      string
 	Batch        int
 	Steps        int
 	TotalSeconds float64
@@ -152,7 +151,8 @@ type Report struct {
 	// TBTSeconds is the mean time-between-tokens a request observes (the
 	// serving-latency counterpart of throughput: one decode iteration).
 	TBTSeconds float64
-	// Energy breakdowns (attention on PIM; FC on PNM/NPU/GPU).
+	// Energy breakdowns (attention on PIM; FC on PNM/NPU/GPU). Zero for
+	// backends outside the PIM module energy model.
 	AttnEnergy energy.Breakdown
 	FCEnergy   energy.Breakdown
 }
@@ -160,10 +160,10 @@ type Report struct {
 // System is a reusable simulator instance (kernel latencies are memoized
 // across runs on the same device).
 type System struct {
-	cfg  Config
-	perf *perfmodel.Service
-	hub  *hub.Hub
-	emod energy.Model
+	cfg Config
+	be  backend.Backend
+	env *backend.Env
+	adm backend.Admission
 }
 
 // New builds a simulator for a configuration.
@@ -171,19 +171,26 @@ func New(cfg Config) (*System, error) {
 	if cfg.DecodeWindow <= 0 {
 		cfg.DecodeWindow = 16
 	}
-	if err := cfg.Validate(); err != nil {
+	be, env, err := cfg.validate()
+	if err != nil {
 		return nil, err
 	}
-	return &System{
-		cfg:  cfg,
-		perf: perfmodel.New(cfg.Dev),
-		hub:  hub.New(cfg.Dev),
-		emod: energy.Default(),
-	}, nil
+	env.Perf = perfmodel.New(cfg.Dev)
+	env.Hub = hub.New(cfg.Dev)
+	env.EMod = energy.Default()
+	return &System{cfg: cfg, be: be, env: env, adm: be.Admission(env)}, nil
 }
 
 // Config returns the system configuration.
 func (s *System) Config() Config { return s.cfg }
+
+// Backend returns the system's backend.
+func (s *System) Backend() backend.Backend { return s.be }
+
+// FixedAllocator reports whether the backend supplies its own KV
+// allocator (the GPU's paged pool), making the static-vs-DPA technique
+// toggle inapplicable to this system.
+func (s *System) FixedAllocator() bool { return s.adm.NewAllocator != nil }
 
 // tmax is the static reservation length.
 func (s *System) tmax() int {
@@ -193,22 +200,26 @@ func (s *System) tmax() int {
 	return s.cfg.Model.ContextWindow
 }
 
-// kvPoolBytes is the system-wide memory available for KV cache.
+// kvPoolBytes is the system-wide memory available for KV cache: the
+// backend's device capacity minus resident weights (unless the backend
+// hosts them elsewhere), capped by the configured budget and derated to
+// the backend's usable fraction.
 func (s *System) kvPoolBytes() (int64, error) {
-	var capacity int64
-	if s.cfg.Kind == GPUSystem {
-		capacity = int64(s.cfg.GPUs) * xpu.A100().MemBytes
-	} else {
-		capacity = int64(s.cfg.Modules) * s.cfg.Dev.ModuleBytes()
+	capacity := s.be.CapacityBytes(s.env)
+	pool := capacity
+	if !s.adm.WeightsHosted {
+		w := s.cfg.Model.WeightBytes()
+		if w >= capacity {
+			return 0, fmt.Errorf("cluster %s: weights (%d GiB) exceed capacity (%d GiB)",
+				s.cfg.Name, w>>30, capacity>>30)
+		}
+		pool = capacity - w
 	}
-	w := s.cfg.Model.WeightBytes()
-	if w >= capacity {
-		return 0, fmt.Errorf("cluster %s: weights (%d GiB) exceed capacity (%d GiB)",
-			s.cfg.Name, w>>30, capacity>>30)
-	}
-	pool := capacity - w
 	if b := s.cfg.KVBudgetBytes; b > 0 && b < pool {
 		pool = b
+	}
+	if sc := s.adm.PoolScale; sc > 0 && sc != 1 {
+		pool = int64(float64(pool) * sc)
 	}
 	return pool, nil
 }
@@ -223,6 +234,8 @@ type admitter struct {
 	headUsed   int64
 	headNeed   map[int]int64 // per admitted request (for release)
 	kvHeads    int
+	headFirst  bool // charge the per-channel head budget on admission
+	skipUnfit  bool // scan past unfit requests instead of stopping
 	pending    []workload.Request
 	active     []workload.Request
 	// horizon is the token count a request must be able to reach without
@@ -231,87 +244,99 @@ type admitter struct {
 	// grows each request to its own generation length.
 	horizon func(workload.Request) int
 	// admitTokens is the KV size (in tokens) a request occupies at the
-	// moment of admission. The default is the prompt context; the serving
-	// engine overrides it so a preempted request re-admits at its full
+	// moment of admission. The default is the prompt context (or the
+	// full horizon for upfront-reserving backends); the serving engine
+	// overrides it so a preempted request re-admits at its full
 	// recomputed KV (context + tokens already generated).
 	admitTokens func(workload.Request) int
 }
 
-// newAdmitter builds the allocator and admission bookkeeping.
+// newAdmitter builds the allocator and admission bookkeeping from the
+// backend's admission parameters.
 func (s *System) newAdmitter(reqs []workload.Request) (*admitter, error) {
 	pool, err := s.kvPoolBytes()
 	if err != nil {
 		return nil, err
 	}
 	bpt := s.cfg.Model.KVBytesPerToken()
-	var alloc memory.Allocator
-	if s.cfg.Tech.DPA {
-		a, err := memory.NewDPA(pool, bpt, memory.DefaultChunkBytes)
-		if err != nil {
-			return nil, err
+	newAlloc := s.adm.NewAllocator
+	if newAlloc == nil {
+		newAlloc = func(pool, bpt int64, tmax int) (memory.Allocator, error) {
+			if s.cfg.Tech.DPA {
+				return memory.NewDPA(pool, bpt, memory.DefaultChunkBytes)
+			}
+			return memory.NewStatic(pool, bpt, tmax)
 		}
-		alloc = a
-	} else {
-		a, err := memory.NewStatic(pool, bpt, s.tmax())
-		if err != nil {
-			return nil, err
-		}
-		alloc = a
 	}
-	ad := &admitter{sys: s, alloc: alloc, headNeed: make(map[int]int64), pending: reqs}
+	alloc, err := newAlloc(pool, bpt, s.tmax())
+	if err != nil {
+		return nil, err
+	}
+	ad := &admitter{sys: s, alloc: alloc, headNeed: make(map[int]int64), pending: reqs,
+		skipUnfit: s.adm.SkipUnfit}
 	ad.admitTokens = func(r workload.Request) int { return r.Context }
+	if s.adm.ReserveHorizon {
+		ad.admitTokens = func(r workload.Request) int { return ad.horizon(r) }
+	}
 	ad.horizon = func(r workload.Request) int {
 		need := r.Context + s.cfg.DecodeWindow
-		if need > s.tmax() {
+		if !s.adm.UnclampedHorizon && need > s.tmax() {
 			need = s.tmax()
 		}
 		return need
 	}
-	// Head-first placement additionally binds each (request, KV head) tile
-	// to one channel's capacity; TCP's token slices are spread over all
-	// channels and never hit this bound.
-	kvHeadsPerModule, tokenShard := s.headGeometry()
-	ad.kvHeads = kvHeadsPerModule
-	if !s.cfg.Tech.TCP {
-		ad.headBudget = int64(s.cfg.Dev.Channels) * int64(s.headCapacityTokens()) * int64(tokenShard)
+	ad.kvHeads = s.adm.KVHeadsPerModule
+	if s.adm.HeadBudget > 0 {
+		ad.headFirst = true
+		ad.headBudget = s.adm.HeadBudget
 	}
 	return ad, nil
 }
 
 // fill admits pending requests FCFS until the head of the queue no longer
-// fits (strict in-order admission, as a serving queue would).
+// fits (strict in-order admission, as a serving queue would). Backends
+// with SkipUnfit admission (the GPU's greedy paged pool) scan past
+// requests that do not fit; the skipped requests keep their queue order.
 func (a *admitter) fill() {
 	s := a.sys
+	var skipped []workload.Request
 	for len(a.pending) > 0 {
 		r := a.pending[0]
 		if s.cfg.MaxBatch > 0 && len(a.active) >= s.cfg.MaxBatch {
-			return
+			break
 		}
 		// Headroom: a request must be able to grow to its horizon
 		// without eviction.
 		need := a.horizon(r)
-		if !a.alloc.CanAdmit(need) {
-			return
-		}
+		fits := a.alloc.CanAdmit(need)
 		var headNeed int64
-		if !s.cfg.Tech.TCP {
+		if fits && a.headFirst {
 			// Static allocation also reserves T_max per channel tile.
 			reserve := int64(s.tmax())
 			if s.cfg.Tech.DPA {
 				reserve = int64(need)
 			}
 			headNeed = reserve * int64(a.kvHeads)
-			if a.headUsed+headNeed > a.headBudget {
-				return
+			fits = a.headUsed+headNeed <= a.headBudget
+		}
+		if !fits {
+			if a.skipUnfit {
+				skipped = append(skipped, r)
+				a.pending = a.pending[1:]
+				continue
 			}
+			break
 		}
 		if err := a.alloc.Admit(r.ID, a.admitTokens(r)); err != nil {
-			return
+			break
 		}
 		a.headUsed += headNeed
 		a.headNeed[r.ID] = headNeed
 		a.active = append(a.active, r)
 		a.pending = a.pending[1:]
+	}
+	if len(skipped) > 0 {
+		a.pending = append(skipped, a.pending...)
 	}
 }
 
@@ -377,309 +402,9 @@ func (s *System) formBatch(reqs []workload.Request) (*admitter, error) {
 	return ad, nil
 }
 
-// schedKind maps the DCS toggle to the scheduler/buffer pair.
-func (s *System) schedKind() (perfmodel.Sched, bool) {
-	if s.cfg.Tech.DCS {
-		return perfmodel.DCS, false // PIMphony OBuf geometry
-	}
-	return perfmodel.Static, true // baseline OutReg geometry
-}
-
-// headGeometry returns how TP shards attention: KV heads per module, and
-// the token-axis sharding factor once TP exceeds the head count.
-func (s *System) headGeometry() (kvHeadsPerModule, tokenShard int) {
-	kvHeadsPerModule = s.cfg.Model.KVHeads() / s.cfg.TP
-	tokenShard = 1
-	if kvHeadsPerModule == 0 {
-		kvHeadsPerModule = 1
-		tokenShard = s.cfg.TP / s.cfg.Model.KVHeads()
-	}
-	return kvHeadsPerModule, tokenShard
-}
-
-// headCapacityTokens is the KV capacity of one channel in (module-sharded)
-// tokens for a single head tile: under head-first placement a (request,
-// KV head) tile must live — and compute — within one channel, so this
-// bounds both placement and admission. Sec. IV: "a request typically
-// consumes nearly the entire memory capacity of a single PIM channel".
-func (s *System) headCapacityTokens() int {
-	m := s.cfg.Model
-	perHead := m.KVBytesPerToken() / int64(m.KVHeads()) / int64(s.cfg.PP)
-	if perHead <= 0 {
-		perHead = 1
-	}
-	return int(s.cfg.Dev.ChannelBytes() / perHead)
-}
-
-// strategy maps the TCP toggle to the partitioning strategy.
-func (s *System) strategy() mapping.Strategy {
-	if s.cfg.Tech.TCP {
-		return mapping.TCP{}
-	}
-	return mapping.HFP{CapacityTokens: s.headCapacityTokens()}
-}
-
-// epuLanes is the number of parallel EPU softmax lanes per module.
-const epuLanes = 16
-
-// attnStats carries one stage-layer attention evaluation.
-type attnStats struct {
-	cycles   timing.Cycles
-	busy     timing.Cycles // aggregate MAC-busy cycles across channels
-	macs     int64
-	ioBytes  int64
-	actPre   int64
-	channels int
-}
-
-// attentionLayer evaluates one layer's attention time on one module group
-// for the given micro-batch of requests.
-func (s *System) attentionLayer(reqs []workload.Request, tokensOf func(workload.Request) int) (attnStats, error) {
-	m := s.cfg.Model
-	// TP shards KV heads first; beyond the head count it shards the token
-	// axis across module groups (how TP-centric systems like NeuPIMs keep
-	// scaling past the head count).
-	kvHeadsPerModule := m.KVHeads() / s.cfg.TP
-	tokenShard := 1
-	if kvHeadsPerModule == 0 {
-		kvHeadsPerModule = 1
-		tokenShard = s.cfg.TP / m.KVHeads()
-	}
-	mreqs := make([]mapping.Request, len(reqs))
-	for i, r := range reqs {
-		t := (tokensOf(r) + tokenShard - 1) / tokenShard
-		mreqs[i] = mapping.Request{ID: r.ID, Tokens: t}
-	}
-	assign, err := s.strategy().Assign(mreqs, kvHeadsPerModule, m.GQAGroup, s.cfg.Dev.Channels)
-	if err != nil {
-		return attnStats{}, err
-	}
-	sc, baseline := s.schedKind()
-	var st attnStats
-	st.channels = s.cfg.Dev.Channels
-	var maxCh timing.Cycles
-	for _, works := range assign.Channels {
-		var chCycles timing.Cycles
-		for _, w := range works {
-			lat, err := s.priceAttention(w.Tokens, m.HeadDim, w.Queries, baseline, sc)
-			if err != nil {
-				return attnStats{}, err
-			}
-			chCycles += lat.Cycles
-			st.busy += lat.Breakdown.MAC
-			st.macs += lat.MACs
-			st.ioBytes += lat.IOBytes
-			st.actPre += lat.ActPre
-		}
-		if chCycles > maxCh {
-			maxCh = chCycles
-		}
-	}
-	st.cycles = maxCh
-	// EPU softmax: one per (request, query head) on this module, spread
-	// over the EPU lanes; under TCP the segments are concatenated first
-	// (no extra cost beyond the softmax itself).
-	var softmax timing.Cycles
-	qHeadsPerModule := kvHeadsPerModule * m.GQAGroup
-	for _, r := range reqs {
-		softmax += s.hub.SoftmaxCycles((tokensOf(r)+tokenShard-1)/tokenShard) * timing.Cycles(qHeadsPerModule)
-	}
-	st.cycles += softmax / epuLanes
-	// TCP pays one SV reduction per (request, KV head); the HUB performs
-	// reductions for completed heads while the channels compute the next
-	// head, so only the lane-parallel EPU residue is exposed (the paper
-	// measures < 0.2% of attention latency).
-	if s.cfg.Tech.TCP {
-		red := s.hub.ReduceCycles(s.cfg.Dev.Channels, m.HeadDim)
-		st.cycles += red * timing.Cycles(len(reqs)*kvHeadsPerModule) / epuLanes
-	}
-	return st, nil
-}
-
-// priceAttention prices one channel's attention tile. The KV mapping
-// (row-reuse vs query-resident) is a compile-time choice, so every
-// configuration gets the cheaper of the two under its own scheduler —
-// row-reuse wins under DCS because the extra WR-INP traffic hides behind
-// MAC execution (Sec. V-C), while static controllers often prefer the
-// query-resident mapping.
-func (s *System) priceAttention(tokens, headDim, queries int, baseline bool, sc perfmodel.Sched) (perfmodel.Latency, error) {
-	plain, err := s.perf.AttentionLatency(tokens, headDim, queries, false, baseline, sc)
-	if err != nil {
-		return perfmodel.Latency{}, err
-	}
-	if !s.cfg.RowReuse || queries == 1 {
-		return plain, nil
-	}
-	reuse, err := s.perf.AttentionLatency(tokens, headDim, queries, true, baseline, sc)
-	if err != nil {
-		return perfmodel.Latency{}, err
-	}
-	if reuse.Cycles < plain.Cycles {
-		return reuse, nil
-	}
-	return plain, nil
-}
-
-// npuMemGBsPerModule is the weight-read bandwidth available to the NeuPIMs
-// NPU per module. The NPU accesses DRAM through the regular channel
-// interface (not the bank-internal MAC path), so it sees GDDR6-class
-// external bandwidth rather than the 32 TB/s internal figure.
-const npuMemGBsPerModule = 1000
-
-// fcLayer evaluates one layer's FC time (seconds) for a micro-batch.
-//
-// PIM-only (CENT-style) systems run the projection GEMVs on the PIM banks
-// themselves: the time is the max of the MAC-command issue roof (one
-// command per Banks*ElemsPerTile MAC-ops per channel, at the scheduler's
-// steady-state interval) and the weight-read roof (weights stream once per
-// accumulator-file batch). xPU+PIM systems run the batched GEMM on the NPU
-// roofline instead.
-func (s *System) fcLayer(batch int) float64 {
-	m := s.cfg.Model
-	var fcFlops, fcBytes int64
-	for _, sh := range m.FCShapes() {
-		fcFlops += 2 * int64(sh.DIn) * int64(sh.DOut) * int64(sh.Count)
-		fcBytes += int64(sh.DIn) * int64(sh.DOut) * int64(sh.Count) * int64(m.ElemBytes)
-	}
-	// Per-module shard.
-	shardFlops := fcFlops / int64(s.cfg.TP)
-	shardBytes := fcBytes / int64(s.cfg.TP)
-	if s.cfg.Kind == XPUPIM {
-		return xpu.NeuPIMsNPU(npuMemGBsPerModule).OpTime(int64(batch)*shardFlops, shardBytes)
-	}
-	dev := s.cfg.Dev
-	macOpsPerCmd := int64(dev.Banks * dev.ElemsPerTile())
-	cmds := int64(batch) * shardFlops / 2 / macOpsPerCmd
-	perChannel := cmds / int64(dev.Channels)
-	interval := dev.TMAC // static controllers pace MACs at tMAC
-	if s.cfg.Tech.DCS {
-		interval = dev.TCCDS // DCS sustains the pipelined interval
-	}
-	cmdSec := float64(perChannel) * float64(interval) / cyclesPerSecond
-	// The accumulator file bounds how many requests share one weight
-	// streaming pass; the baseline OutReg re-reads weights per pair.
-	outEntries := dev.OutRegEntries()
-	if s.cfg.Tech.DCS {
-		outEntries = dev.OBufEntries()
-	}
-	passes := (batch + outEntries - 1) / outEntries
-	byteSec := float64(shardBytes*int64(passes)) / (dev.InternalBandwidth() * cyclesPerSecond)
-	if cmdSec > byteSec {
-		return cmdSec
-	}
-	return byteSec
-}
-
-// syncCycles is the per-layer TP all-reduce cost.
-func (s *System) syncCycles(batch int) timing.Cycles {
-	if s.cfg.TP <= 1 {
-		return 0
-	}
-	bytes := int64(batch) * int64(s.cfg.Model.DIn) * int64(s.cfg.Model.ElemBytes)
-	per := timing.Cycles(float64(bytes) * float64(s.cfg.TP-1) / float64(s.cfg.TP) / s.cfg.Dev.LinkBytesPerCycle)
-	return 2 * (s.cfg.Dev.LinkLatency + per) // attention-out + FFN-out
-}
-
-const cyclesPerSecond = 1e9
-
-// stageTime returns the per-stage time in seconds for a micro-batch, plus
-// the attention stats for utilization/energy accounting.
-func (s *System) stageTime(reqs []workload.Request, tokensOf func(workload.Request) int) (float64, attnStats, float64, error) {
-	layers := s.cfg.Model.Layers / s.cfg.PP
-	at, err := s.attentionLayer(reqs, tokensOf)
-	if err != nil {
-		return 0, attnStats{}, 0, err
-	}
-	attnSec := float64(at.cycles) / cyclesPerSecond
-	fcSec := s.fcLayer(len(reqs))
-	syncSec := float64(s.syncCycles(len(reqs))) / cyclesPerSecond
-	var layerSec float64
-	if s.cfg.Kind == XPUPIM {
-		// NeuPIMs sub-batch interleaving overlaps NPU GEMM with PIM GEMV;
-		// 85% of the shorter phase hides under the longer one.
-		longer, shorter := attnSec, fcSec
-		if fcSec > attnSec {
-			longer, shorter = fcSec, attnSec
-		}
-		layerSec = longer + 0.15*shorter + syncSec
-	} else {
-		layerSec = attnSec + fcSec + syncSec
-	}
-	stage := layerSec * float64(layers)
-	attnShare := attnSec / layerSec
-	// Scale the per-layer attention stats to the stage.
-	at.cycles *= timing.Cycles(layers)
-	at.busy *= timing.Cycles(layers)
-	at.macs *= int64(layers)
-	at.ioBytes *= int64(layers)
-	at.actPre *= int64(layers)
-	return stage, at, attnShare, nil
-}
-
-// iterate evaluates one decode iteration for a batch: the iteration time
-// in seconds, the attention stats merged across the per-request stage
-// evaluations (cycles and busy sum over PP micro-batches), and the
-// attention share of iteration time. Both the batch simulator (RunCtx)
-// and the serving engine (Engine.Step) price their iterations here.
-func (s *System) iterate(ctx context.Context, batch []workload.Request, tokensOf func(workload.Request) int) (float64, attnStats, float64, error) {
-	if s.cfg.PP == 1 {
-		return s.stageTime(batch, tokensOf)
-	}
-	// Request-granular micro-batches through PP stages: sum of
-	// per-request stage times + (PP-1) bubbles of the max. The
-	// per-request evaluations are independent (the perfmodel cache
-	// is internally locked), so they fan out through the sweep
-	// engine; the ordered reduction below accumulates floats in
-	// request order, keeping the result identical to the
-	// sequential loop.
-	type stageOut struct {
-		sec   float64
-		stats attnStats
-		share float64
-	}
-	evalOne := func(r workload.Request) (stageOut, error) {
-		st, stats1, share1, err := s.stageTime([]workload.Request{r}, tokensOf)
-		return stageOut{st, stats1, share1}, err
-	}
-	var outs []stageOut
-	var err error
-	// Tiny batches are mostly memoized perfmodel hits; spinning a
-	// worker pool per decode step costs more than it saves there
-	// (and this loop already nests under the experiment grid and
-	// stage-ladder sweeps).
-	if len(batch) < 4 {
-		outs = make([]stageOut, len(batch))
-		for i, r := range batch {
-			if outs[i], err = evalOne(r); err != nil {
-				return 0, attnStats{}, 0, err
-			}
-		}
-	} else {
-		if outs, err = sweep.Run(ctx, batch, func(_ context.Context, r workload.Request) (stageOut, error) {
-			return evalOne(r)
-		}); err != nil {
-			return 0, attnStats{}, 0, err
-		}
-	}
-	var stats attnStats
-	var share float64
-	var sum, max float64
-	for _, o := range outs {
-		sum += o.sec
-		if o.sec > max {
-			max = o.sec
-		}
-		stats.busy += o.stats.busy
-		stats.cycles += o.stats.cycles
-		stats.channels = o.stats.channels
-		share += o.share
-		stats.macs += o.stats.macs
-		stats.ioBytes += o.stats.ioBytes
-		stats.actPre += o.stats.actPre
-	}
-	share /= float64(len(batch))
-	iterSec := sum + float64(s.cfg.PP-1)*max
-	return iterSec, stats, share, nil
+// iterate prices one decode iteration through the configured backend.
+func (s *System) iterate(ctx context.Context, batch []workload.Request, tokensOf backend.TokensOf) (backend.StepCost, error) {
+	return s.be.Step(ctx, s.env, batch, tokensOf)
 }
 
 // Run simulates a decode window over the given candidate requests and
@@ -692,9 +417,6 @@ func (s *System) Run(reqs []workload.Request) (*Report, error) {
 // iterations once ctx is done, so config-grid sweeps can stop early when
 // a sibling point fails.
 func (s *System) RunCtx(ctx context.Context, reqs []workload.Request) (*Report, error) {
-	if s.cfg.Kind == GPUSystem {
-		return s.runGPU(reqs)
-	}
 	ad, err := s.formBatch(reqs)
 	if err != nil {
 		return nil, err
@@ -702,8 +424,11 @@ func (s *System) RunCtx(ctx context.Context, reqs []workload.Request) (*Report, 
 	batch := ad.active
 	alloc := ad.alloc
 	capUtil := memory.PoolUtilization(alloc)
+	if u := s.adm.ReportedUtil; u > 0 {
+		capUtil = u
+	}
 	grown := make(map[int]int, len(batch)) // extra tokens generated so far
-	rep := &Report{Config: s.cfg.Name, Kind: s.cfg.Kind, Batch: len(batch), Steps: s.cfg.DecodeWindow, CapacityUtil: capUtil}
+	rep := &Report{Config: s.cfg.Name, Backend: s.be.Name(), Batch: len(batch), Steps: s.cfg.DecodeWindow, CapacityUtil: capUtil}
 	var totalSec, attnShareAcc float64
 	var busy, span timing.Cycles
 	var channels int
@@ -714,21 +439,31 @@ func (s *System) RunCtx(ctx context.Context, reqs []workload.Request) (*Report, 
 			return nil, err
 		}
 		tokensOf := func(r workload.Request) int { return r.Context + grown[r.ID] }
-		iterSec, stats, share, err := s.iterate(ctx, batch, tokensOf)
+		cost, err := s.iterate(ctx, batch, tokensOf)
 		if err != nil {
 			return nil, err
 		}
-		busy += stats.busy
-		span += stats.cycles
-		channels = stats.channels
+		iterSec := cost.Seconds
+		busy += cost.Stats.Busy
+		span += cost.Stats.Cycles
+		channels = cost.Stats.Channels
 		totalSec += iterSec
-		attnShareAcc += share
+		attnShareAcc += cost.AttnShare
 		generated += len(batch)
 		stepsRun++
 		// Advance every request by one generated token.
 		for _, r := range batch {
 			grown[r.ID]++
-			if err := alloc.Grow(r.ID, tokensOf(r)+1); err != nil {
+			target := tokensOf(r) + 1
+			if s.adm.ReserveHorizon {
+				// The full horizon is already reserved upfront; growth
+				// needs no extra headroom and stops at the reservation
+				// edge instead of probing past it.
+				if h := ad.horizon(r); target > h {
+					target = h
+				}
+			}
+			if err := alloc.Grow(r.ID, target); err != nil {
 				// Out of headroom: freeze this request's growth (the real
 				// system would evict; the window is short enough not to).
 				grown[r.ID]--
@@ -757,15 +492,10 @@ func (s *System) RunCtx(ctx context.Context, reqs []workload.Request) (*Report, 
 				break
 			}
 		}
-		// Attention energy for this iteration: the accumulated stats cover
-		// one module's shard (TP) of one stage (PP); all Modules perform
-		// equivalent shards, and background power accrues only over the
-		// attention phase of the iteration.
-		attnCycles := timing.Cycles(iterSec * share * cyclesPerSecond)
-		eb := s.emod.ForAggregate(s.cfg.Dev, stats.macs, stats.ioBytes, stats.actPre,
-			channels, attnCycles)
-		rep.AttnEnergy.Add(eb.Scale(float64(s.cfg.Modules)))
-		rep.FCEnergy.Add(s.fcEnergy(len(batch), iterSec))
+		// Accrue this iteration's energy on the backend's model.
+		ae, fe := s.be.IterEnergy(s.env, cost, len(batch))
+		rep.AttnEnergy.Add(ae)
+		rep.FCEnergy.Add(fe)
 	}
 	rep.Steps = stepsRun
 	rep.TotalSeconds = totalSec
@@ -794,100 +524,13 @@ func Sweep(ctx context.Context, cfgs []Config, reqs []workload.Request, opts ...
 	}, opts...)
 }
 
-// fcEnergy coarsely prices the FC phase of one iteration: DRAM reads of all
-// sharded weights plus MAC-array energy for the batched GEMM.
-func (s *System) fcEnergy(batch int, iterSec float64) energy.Breakdown {
-	m := s.cfg.Model
-	var fcBytes int64
-	for _, sh := range m.FCShapes() {
-		fcBytes += int64(sh.DIn) * int64(sh.DOut) * int64(sh.Count) * int64(m.ElemBytes)
-	}
-	fcBytes *= int64(m.Layers)
-	macEquiv := fcBytes / int64(s.cfg.Dev.TileBytes*s.cfg.Dev.Banks) * int64(batch)
-	return energy.Breakdown{
-		MAC:        float64(macEquiv) * s.emod.MACpJ,
-		IO:         float64(batch) * float64(m.DIn*m.Layers*m.ElemBytes) * s.emod.IOpJPerByte,
-		Background: 0, // background power is attributed once, in AttnEnergy
-		Else:       float64(fcBytes) * s.emod.DRAMReadpJPerByte,
-	}
-}
-
 // PrefillSeconds estimates the prompt-processing time of one request at
 // the given context length. Prefill is the compute-bound phase (batched
 // GEMM over all prompt tokens plus causal attention, quadratic in the
-// context), so it runs on the system's dense engine: the per-module PNM
+// context), so it runs on the backend's dense engine: the per-module PNM
 // for PIM-only systems (their known weakness — the motivation for
-// GPU/NPU prefill offload in Hybe and NeuPIMs), the NPU for xPU+PIM, and
-// the GPU itself for the baseline.
+// GPU/NPU prefill offload in Hybe and NeuPIMs), the NPU for xPU+PIM, the
+// host GPU for DIMM-PIM, and the GPU itself for the baseline.
 func (s *System) PrefillSeconds(context int) float64 {
-	m := s.cfg.Model
-	var fcFlopsPerTok int64
-	for _, sh := range m.FCShapes() {
-		fcFlopsPerTok += 2 * int64(sh.DIn) * int64(sh.DOut) * int64(sh.Count)
-	}
-	fcFlopsPerTok *= int64(m.Layers)
-	// Causal attention per layer: sum_{t=1..T} 2*2*heads*dh*t ~ 2*heads*dh*T^2.
-	attnFlops := int64(m.Layers) * 2 * int64(m.Heads) * int64(m.HeadDim) * int64(context) * int64(context)
-	flops := int64(context)*fcFlopsPerTok + attnFlops
-	weights := m.WeightBytes()
-	switch s.cfg.Kind {
-	case GPUSystem:
-		g := xpu.A100()
-		return g.OpTime(flops/int64(s.cfg.GPUs), weights/int64(s.cfg.GPUs))
-	case XPUPIM:
-		dev := xpu.NeuPIMsNPU(npuMemGBsPerModule)
-		return dev.OpTime(flops/int64(s.cfg.Modules), weights/int64(s.cfg.Modules))
-	default:
-		dev := xpu.CENTPNM(s.cfg.Dev.InternalBandwidth())
-		return dev.OpTime(flops/int64(s.cfg.Modules), weights/int64(s.cfg.Modules))
-	}
-}
-
-// runGPU evaluates the A100 baseline.
-func (s *System) runGPU(reqs []workload.Request) (*Report, error) {
-	g := xpu.A100()
-	m := s.cfg.Model
-	pool, err := s.kvPoolBytes()
-	if err != nil {
-		return nil, err
-	}
-	pool = int64(float64(pool) * g.PagedAttentionEff)
-	var batch []workload.Request
-	var kvBytes int64
-	for _, r := range reqs {
-		need := m.KVBytes(r.Context + s.cfg.DecodeWindow)
-		if kvBytes+need > pool {
-			continue
-		}
-		kvBytes += need
-		batch = append(batch, r)
-		if s.cfg.MaxBatch > 0 && len(batch) >= s.cfg.MaxBatch {
-			break
-		}
-	}
-	if len(batch) == 0 {
-		return nil, fmt.Errorf("cluster %s: no request fits on %d GPUs", s.cfg.Name, s.cfg.GPUs)
-	}
-	var fcFlopsPerReq int64
-	var weightBytes int64 = m.WeightBytes()
-	for _, sh := range m.FCShapes() {
-		fcFlopsPerReq += 2 * int64(sh.DIn) * int64(sh.DOut) * int64(sh.Count)
-	}
-	fcFlopsPerReq *= int64(m.Layers)
-	rep := &Report{Config: s.cfg.Name, Kind: GPUSystem, Batch: len(batch), Steps: s.cfg.DecodeWindow, CapacityUtil: g.PagedAttentionEff}
-	var totalSec float64
-	grown := 0
-	for step := 0; step < s.cfg.DecodeWindow; step++ {
-		var kv int64
-		for _, r := range batch {
-			kv += m.KVBytes(r.Context + grown)
-		}
-		fc := g.OpTime(int64(len(batch))*fcFlopsPerReq/int64(s.cfg.GPUs), weightBytes/int64(s.cfg.GPUs))
-		attn := g.AttentionTime(kv / int64(s.cfg.GPUs))
-		totalSec += fc + attn
-		grown++
-	}
-	rep.TotalSeconds = totalSec
-	rep.Throughput = float64(len(batch)*s.cfg.DecodeWindow) / totalSec
-	return rep, nil
+	return s.be.PrefillSeconds(s.env, context)
 }

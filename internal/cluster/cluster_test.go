@@ -3,6 +3,7 @@ package cluster
 import (
 	"testing"
 
+	"pimphony/internal/backend"
 	"pimphony/internal/model"
 	"pimphony/internal/timing"
 	"pimphony/internal/workload"
@@ -14,7 +15,7 @@ func centConfig(m model.Config, tech Technique) Config {
 	dev := timing.AiM16().WithChannels(32).WithCapacity(16 << 30)
 	return Config{
 		Name:         "cent-7b",
-		Kind:         PIMOnly,
+		Backend:      PIMOnly,
 		Dev:          dev,
 		Modules:      8,
 		TP:           8,
@@ -30,7 +31,7 @@ func neuPIMsConfig(m model.Config, tech Technique) Config {
 	dev := timing.AiM16().WithChannels(32).WithCapacity(32 << 30)
 	return Config{
 		Name:         "neupims-7b",
-		Kind:         XPUPIM,
+		Backend:      XPUPIM,
 		Dev:          dev,
 		Modules:      4,
 		TP:           4,
@@ -161,7 +162,7 @@ func TestGPUBaselineRuns(t *testing.T) {
 	m := model.LLM7B32K()
 	cfg := Config{
 		Name:         "a100x2",
-		Kind:         GPUSystem,
+		Backend:      GPUSystem,
 		Model:        m,
 		GPUs:         2,
 		DecodeWindow: 4,
@@ -219,7 +220,7 @@ func TestConfigValidation(t *testing.T) {
 	if _, err := New(bad3); err == nil {
 		t.Error("PP not dividing layers should fail")
 	}
-	bad4 := Config{Name: "gpu", Kind: GPUSystem, Model: m, GPUs: 0}
+	bad4 := Config{Name: "gpu", Backend: GPUSystem, Model: m, GPUs: 0}
 	if _, err := New(bad4); err == nil {
 		t.Error("GPU system without GPUs should fail")
 	}
@@ -249,8 +250,50 @@ func TestAttnShareGrowsWithContext(t *testing.T) {
 	}
 }
 
-func TestKindString(t *testing.T) {
-	if PIMOnly.String() != "pim-only" || XPUPIM.String() != "xpu+pim" || GPUSystem.String() != "gpu" {
-		t.Fatal("kind names changed")
+func TestBackendNames(t *testing.T) {
+	if PIMOnly != "pim-only" || XPUPIM != "xpu+pim" || GPUSystem != "gpu" || DIMMPIM != "dimm-pim" {
+		t.Fatal("backend names changed")
+	}
+	// Every re-exported name must resolve through the registry, and the
+	// empty name must default to the PIM-only backend.
+	for _, name := range []string{PIMOnly, XPUPIM, GPUSystem, DIMMPIM, ""} {
+		if _, err := backend.Lookup(name); err != nil {
+			t.Errorf("Lookup(%q): %v", name, err)
+		}
+	}
+}
+
+// TestDIMMPIMAllKVPool: the DIMM-PIM backend hosts weights on its GPU,
+// so the whole DIMM capacity serves KV — unlike the memory-matched
+// AiM systems, whose pool shrinks by the resident weights.
+func TestDIMMPIMAllKVPool(t *testing.T) {
+	m := model.LLM7B32K()
+	dev := timing.DDR5DIMM()
+	cfg := Config{
+		Name: "dimm-7b", Backend: DIMMPIM, Dev: dev,
+		Modules: 8, TP: 8, PP: 1, Model: m, Tech: PIMphony(), DecodeWindow: 4,
+	}
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sys.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := e.KVPoolBytes(), int64(8)*dev.ModuleBytes(); got != want {
+		t.Fatalf("dimm pool %d, want the full capacity %d (weights hosted)", got, want)
+	}
+	rep, err := sys.Run(qmsumBatch(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Throughput <= 0 || rep.PIMUtil <= 0 || rep.Backend != DIMMPIM {
+		t.Fatalf("dimm report %+v", rep)
+	}
+	// The host GPU FC keeps attention dominant; the all-KV pool admits
+	// every candidate at these sizes.
+	if rep.Batch != 16 {
+		t.Errorf("dimm pool should admit all 16, got %d", rep.Batch)
 	}
 }

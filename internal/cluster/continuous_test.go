@@ -120,7 +120,7 @@ func TestPrefillSeconds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gpuCfg := Config{Name: "gpu", Kind: GPUSystem, Model: m, GPUs: 2, DecodeWindow: 2}
+	gpuCfg := Config{Name: "gpu", Backend: GPUSystem, Model: m, GPUs: 2, DecodeWindow: 2}
 	gpu, err := New(gpuCfg)
 	if err != nil {
 		t.Fatal(err)

@@ -15,7 +15,7 @@ func engineConfig(t *testing.T, tech Technique) Config {
 	m := model.LLM7B32K()
 	return Config{
 		Name:         "engine-test",
-		Kind:         PIMOnly,
+		Backend:      PIMOnly,
 		Dev:          timing.AiM16().WithChannels(32).WithCapacity(16 << 30),
 		Modules:      8,
 		TP:           8,
@@ -186,16 +186,49 @@ func TestEngineTruncatesAtTMax(t *testing.T) {
 	}
 }
 
-func TestEngineRejectsGPUAndOversized(t *testing.T) {
-	gpu := Config{Name: "gpu", Kind: GPUSystem, Model: model.LLM7B32K(), GPUs: 2, DecodeWindow: 4}
+// TestEngineServesGPU: the refactored step loop gives the GPU baseline
+// full serving-engine support — admission against its paged pool,
+// per-step events, completion accounting — where the pre-backend code
+// refused to build an engine at all.
+func TestEngineServesGPU(t *testing.T) {
+	gpu := Config{Name: "gpu", Backend: GPUSystem, Model: model.LLM7B32K(), GPUs: 2, DecodeWindow: 4}
 	sys, err := New(gpu)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.NewEngine(); err == nil {
-		t.Error("GPU systems should not build a serving engine")
+	e, err := sys.NewEngine()
+	if err != nil {
+		t.Fatal(err)
 	}
+	reqs := workload.NewGenerator(workload.QMSum(), 7).Batch(6)
+	want := 0
+	for i := range reqs {
+		reqs[i].Decode = 2 + i%3
+		want += reqs[i].Decode
+		if err := e.Enqueue(reqs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := drain(t, e)
+	if len(done) != len(reqs) {
+		t.Fatalf("completed %d of %d requests", len(done), len(reqs))
+	}
+	if e.Generated() != want {
+		t.Errorf("generated %d tokens, want %d", e.Generated(), want)
+	}
+	if e.BusySeconds() <= 0 || e.Steps() == 0 {
+		t.Errorf("no time accounted: busy=%g steps=%d", e.BusySeconds(), e.Steps())
+	}
+	if e.AllocName() != "paged" {
+		t.Errorf("GPU engine allocator %q, want paged", e.AllocName())
+	}
+	// No PIM channels: utilization has no denominator and stays zero.
+	if u := e.Utilization(); u != 0 {
+		t.Errorf("GPU utilization %g, want 0", u)
+	}
+}
 
+func TestEngineRejectsOversized(t *testing.T) {
 	// A request that fits the context window but not the KV pool can
 	// never be admitted: the engine must surface the stuck head-of-queue
 	// instead of spinning idle. 8x2 GiB modules leave ~2.5 GiB of pool
@@ -203,7 +236,7 @@ func TestEngineRejectsGPUAndOversized(t *testing.T) {
 	// request at the 32K window) nothing fits.
 	cfg := engineConfig(t, Technique{}) // static T_max reservation
 	cfg.Dev = cfg.Dev.WithCapacity(2 << 30)
-	sys, err = New(cfg)
+	sys, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

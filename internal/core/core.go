@@ -2,8 +2,9 @@
 // compiler (kernel detection and PIM program lowering), the on-module
 // dispatcher (DPA program loading and per-request state) and the
 // multi-node cluster simulator behind one facade, and provides the
-// paper's evaluated system presets (CENT-style PIM-only and NeuPIMs-style
-// xPU+PIM, Table IV / Sec. VIII-A).
+// paper's evaluated system presets (CENT-style PIM-only, NeuPIMs-style
+// xPU+PIM, the A100 GPU baseline and an L3/LoL-PIM-style DIMM-PIM
+// system), each resolved through the internal/backend registry.
 //
 // Typical use:
 //
@@ -18,7 +19,9 @@ package core
 import (
 	"context"
 	"fmt"
+	"strings"
 
+	"pimphony/internal/backend"
 	"pimphony/internal/cluster"
 	"pimphony/internal/compiler"
 	"pimphony/internal/dispatch"
@@ -72,7 +75,7 @@ func CENT(m model.Config, tech Technique) Config {
 	tp, pp := optimalParallelism(m, modules)
 	return Config{
 		Name:         fmt.Sprintf("cent-%s", m.Name),
-		Kind:         cluster.PIMOnly,
+		Backend:      cluster.PIMOnly,
 		Dev:          dev,
 		Modules:      modules,
 		TP:           tp,
@@ -98,7 +101,7 @@ func NeuPIMs(m model.Config, tech Technique) Config {
 	tp, pp := modules, 1
 	return Config{
 		Name:         fmt.Sprintf("neupims-%s", m.Name),
-		Kind:         cluster.XPUPIM,
+		Backend:      cluster.XPUPIM,
 		Dev:          dev,
 		Modules:      modules,
 		TP:           tp,
@@ -119,11 +122,88 @@ func GPU(m model.Config) Config {
 	}
 	return Config{
 		Name:         fmt.Sprintf("a100x%d-%s", gpus, m.Name),
-		Kind:         cluster.GPUSystem,
+		Backend:      cluster.GPUSystem,
 		Model:        m,
 		GPUs:         gpus,
 		DecodeWindow: 4,
 	}
+}
+
+// DIMMPIM returns the L3/LoL-PIM-style DIMM-PIM preset: 64 GiB DDR5
+// DIMMs whose rank-level PIM units run attention while a host GPU runs
+// the FC projections out of its own HBM, so every DIMM byte serves KV
+// cache. 8 DIMMs (512 GiB of KV) for 7B-class models, 16 DIMMs (1 TiB)
+// for 72B-class — the capacity-first scale-out these systems trade on.
+func DIMMPIM(m model.Config, tech Technique) Config {
+	modules := 8
+	if m.DIn > 4096 {
+		modules = 16
+	}
+	dev := timing.DDR5DIMM()
+	tp, pp := optimalParallelism(m, modules)
+	return Config{
+		Name:         fmt.Sprintf("dimmpim-%s", m.Name),
+		Backend:      cluster.DIMMPIM,
+		Dev:          dev,
+		Modules:      modules,
+		TP:           tp,
+		PP:           pp,
+		Model:        m,
+		Tech:         tech,
+		RowReuse:     m.IsGQA(),
+		DecodeWindow: 4,
+	}
+}
+
+// Preset pairs a registered backend with its paper-evaluated
+// configuration builder and the CLI shorthands that select it.
+type Preset struct {
+	// Backend is the registry name (backend.Names() entry).
+	Backend string
+	// Aliases are accepted CLI spellings besides the backend name.
+	Aliases []string
+	// Make builds the evaluated configuration for a model. Technique
+	// toggles are ignored by backends without PIM attention (the GPU).
+	Make func(m model.Config, tech Technique) Config
+}
+
+// Presets returns the evaluated configuration builder for every
+// registered backend, in registry (sorted-name) order.
+func Presets() []Preset {
+	byName := map[string]Preset{
+		cluster.PIMOnly: {Backend: cluster.PIMOnly, Aliases: []string{"cent"}, Make: CENT},
+		cluster.XPUPIM:  {Backend: cluster.XPUPIM, Aliases: []string{"neupims"}, Make: NeuPIMs},
+		cluster.GPUSystem: {Backend: cluster.GPUSystem, Aliases: []string{"a100"},
+			Make: func(m model.Config, _ Technique) Config { return GPU(m) }},
+		cluster.DIMMPIM: {Backend: cluster.DIMMPIM, Aliases: []string{"l3", "lolpim"}, Make: DIMMPIM},
+	}
+	var out []Preset
+	for _, name := range backend.Names() {
+		if p, ok := byName[name]; ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// PresetByFlag resolves a CLI -system value — a backend registry name or
+// one of its aliases, case-insensitive — through the backend registry.
+func PresetByFlag(name string) (Preset, error) {
+	want := strings.ToLower(strings.TrimSpace(name))
+	var known []string
+	for _, p := range Presets() {
+		if want == p.Backend {
+			return p, nil
+		}
+		known = append(known, p.Backend)
+		for _, a := range p.Aliases {
+			if want == a {
+				return p, nil
+			}
+			known = append(known, a)
+		}
+	}
+	return Preset{}, fmt.Errorf("unknown system %q (known: %s)", name, strings.Join(known, ", "))
 }
 
 // System is the orchestrator facade: a compiled model, per-module
@@ -132,20 +212,22 @@ type System struct {
 	cfg      Config
 	sim      *cluster.System
 	compiled *compiler.Compiled
-	// dispatchers is one on-module dispatcher per module (nil for GPU
-	// systems, which have no PIM modules).
+	// dispatchers is one on-module dispatcher per module (nil for
+	// backends without PIM attention, which have no PIM programs).
 	dispatchers []*dispatch.Dispatcher
 }
 
 // NewSystem compiles the model for the configured target, loads the DPA
 // programs into every module's dispatcher and prepares the simulator.
+// Backends without PIM attention (the GPU baseline) skip the compile
+// and dispatch stages — they have no PIM programs to run.
 func NewSystem(cfg Config) (*System, error) {
 	sim, err := cluster.New(cfg)
 	if err != nil {
 		return nil, err
 	}
 	s := &System{cfg: cfg, sim: sim}
-	if cfg.Kind == cluster.GPUSystem {
+	if !sim.Backend().PIMAttention() {
 		return s, nil
 	}
 	comp, err := compiler.Compile(cfg.Model, compiler.Target{Dev: cfg.Dev, TCP: cfg.Tech.TCP})
@@ -173,7 +255,8 @@ func NewSystem(cfg Config) (*System, error) {
 // Config returns the system configuration.
 func (s *System) Config() Config { return s.cfg }
 
-// Compiled exposes the compilation result (nil for GPU systems).
+// Compiled exposes the compilation result (nil for backends without PIM
+// attention).
 func (s *System) Compiled() *compiler.Compiled { return s.compiled }
 
 // InstructionFootprint reports the per-layer attention instruction bytes
@@ -204,7 +287,7 @@ func (s *System) Serve(reqs []workload.Request) (*Report, error) {
 // iterations once ctx is done, so grid sweeps can stop in-flight
 // simulations when a sibling point fails.
 func (s *System) ServeCtx(ctx context.Context, reqs []workload.Request) (*Report, error) {
-	if s.cfg.Kind != cluster.GPUSystem && s.cfg.Tech.DPA && len(s.dispatchers) > 0 {
+	if s.cfg.Tech.DPA && len(s.dispatchers) > 0 {
 		prog := s.compiled.DPAttn[0].Name
 		d := s.dispatchers[0]
 		for _, r := range reqs {

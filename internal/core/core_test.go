@@ -4,6 +4,7 @@ import (
 	"context"
 	"testing"
 
+	"pimphony/internal/backend"
 	"pimphony/internal/cluster"
 	"pimphony/internal/model"
 	"pimphony/internal/workload"
@@ -172,7 +173,109 @@ func TestGPUSystemServe(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Kind != cluster.GPUSystem || rep.Throughput <= 0 {
+	if rep.Backend != cluster.GPUSystem || rep.Throughput <= 0 {
 		t.Fatalf("bad GPU report: %+v", rep)
+	}
+}
+
+// TestPresetsCoverRegistry: every registered backend must have a preset
+// (the CLIs resolve -system through this pairing), presets must build
+// valid systems, and aliases must resolve case-insensitively.
+func TestPresetsCoverRegistry(t *testing.T) {
+	presets := Presets()
+	if len(presets) != len(backend.Names()) {
+		t.Fatalf("%d presets for %d registered backends", len(presets), len(backend.Names()))
+	}
+	m := model.LLM7B32K()
+	for i, name := range backend.Names() {
+		if presets[i].Backend != name {
+			t.Errorf("preset %d is %q, want registry order %q", i, presets[i].Backend, name)
+		}
+		cfg := presets[i].Make(m, PIMphony())
+		if cfg.Backend != name {
+			t.Errorf("preset %q built a %q config", name, cfg.Backend)
+		}
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatalf("preset %q: %v", name, err)
+		}
+		rep, err := sys.Serve(workload.NewGenerator(workload.QMSum(), 3).Batch(8))
+		if err != nil {
+			t.Fatalf("preset %q serve: %v", name, err)
+		}
+		if rep.Throughput <= 0 || rep.Backend != name {
+			t.Errorf("preset %q report %+v", name, rep)
+		}
+	}
+	for flagName, want := range map[string]string{
+		"cent": cluster.PIMOnly, "NeuPIMs": cluster.XPUPIM, "a100": cluster.GPUSystem,
+		"gpu": cluster.GPUSystem, "l3": cluster.DIMMPIM, "dimm-pim": cluster.DIMMPIM,
+	} {
+		p, err := PresetByFlag(flagName)
+		if err != nil {
+			t.Errorf("PresetByFlag(%q): %v", flagName, err)
+			continue
+		}
+		if p.Backend != want {
+			t.Errorf("PresetByFlag(%q) = %q, want %q", flagName, p.Backend, want)
+		}
+	}
+	if _, err := PresetByFlag("vax"); err == nil {
+		t.Error("unknown system flag should error")
+	}
+}
+
+// TestDIMMPIMSystem: the fourth backend end to end through the facade —
+// compiled PIM programs (DIMM attention is PIM attention), an all-KV
+// pool larger than the memory-matched AiM systems, and a working
+// serving engine.
+func TestDIMMPIMSystem(t *testing.T) {
+	m := model.LLM7B32K()
+	sys, err := NewSystem(DIMMPIM(m, PIMphony()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Compiled() == nil {
+		t.Fatal("dimm-pim must compile PIM programs")
+	}
+	rep, err := sys.Serve(workload.NewGenerator(workload.QMSum(), 9).Batch(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Backend != cluster.DIMMPIM || rep.Throughput <= 0 || rep.PIMUtil <= 0 {
+		t.Fatalf("dimm-pim report %+v", rep)
+	}
+	if rep.AttnEnergy.Total() <= 0 {
+		t.Error("dimm attention energy must accrue")
+	}
+	if rep.FCEnergy.Total() != 0 {
+		t.Error("dimm FC energy is host-side and outside the module model")
+	}
+}
+
+// TestGPUEngineThroughCore: the GPU baseline now builds a serving
+// engine through the facade (the refactor's Engine-support dividend).
+func TestGPUEngineThroughCore(t *testing.T) {
+	sys, err := cluster.New(GPU(model.LLM7B32K()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sys.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Enqueue(workload.Request{ID: 1, Context: 4096, Decode: 3}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; !e.Idle(); i++ {
+		if i > 100 {
+			t.Fatal("engine did not drain")
+		}
+		if _, err := e.Step(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Generated() != 3 {
+		t.Errorf("generated %d, want 3", e.Generated())
 	}
 }

@@ -109,10 +109,27 @@ func CapacityGap() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// DIMM-PIM replica at the same budget and schedule: the backend's
+	// all-KV DIMM pool changes the pricing (host-GPU FC, DIMM-rank
+	// attention) but not the allocator physics, so the static-vs-DPA
+	// gap must reproduce on it — the registry seam exercised end to end.
+	dimmCfg := core.DIMMPIM(m, core.PIMphony())
+	dimmCfg.KVBudgetBytes = capacityBudgetBytes
+	var dpts []serve.CapacityPoint
+	for _, alloc := range []string{"static", "dpa"} {
+		dpts = append(dpts, serve.CapacityPoint{Alloc: alloc, Replicas: 1, Rate: rates[len(rates)-1]})
+	}
+	dimm, err := serve.CapacityTable(context.Background(),
+		fmt.Sprintf("Capacity — DIMM-PIM backend at the same %d GiB/replica budget (host-GPU FC, DIMM-rank attention, %s)",
+			capacityBudgetBytes>>30, m.Name),
+		dimmCfg, "round-robin", dpts, slo, capacityArrivals(nReqs))
+	if err != nil {
+		return nil, err
+	}
 	return &Result{
 		ID:     "capacity",
 		Title:  "Online Static-vs-DPA capacity gap",
-		Tables: []*tablefmt.Table{single, multi},
+		Tables: []*tablefmt.Table{single, multi, dimm},
 		Notes: []string{
 			"same KV budget, same schedule: static admits at most pool/T_max concurrent requests (max-act), DPA packs by live KV and admits strictly more — the paper's Fig. 19 inefficiency, online",
 			"preempt counts DPA evictions when lazy growth exhausts the pool mid-decode; the evicted request re-queues and its KV is recomputed on re-admission (recomp-s), the over-admission cost static never pays",

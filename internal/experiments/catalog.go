@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"pimphony/internal/backend"
+	"pimphony/internal/core"
+)
+
+// Catalog renders the registered system backends (with their preset
+// aliases) and the experiment drivers, one line each — the shared body
+// of the CLI -list flags, so pimphony-sim and pimphony-serve cannot
+// drift apart. mid, when non-nil, runs between the two sections
+// (pimphony-serve inserts its load-balancing policy list there).
+func Catalog(w io.Writer, mid func(io.Writer)) {
+	fmt.Fprintln(w, "registered system backends (-system):")
+	for _, p := range core.Presets() {
+		b, err := backend.Lookup(p.Backend)
+		if err != nil {
+			continue
+		}
+		name := p.Backend
+		if len(p.Aliases) > 0 {
+			name += " (" + strings.Join(p.Aliases, ", ") + ")"
+		}
+		fmt.Fprintf(w, "  %-28s %s\n", name, b.Describe())
+	}
+	if mid != nil {
+		mid(w)
+	}
+	fmt.Fprintln(w, "\nexperiments (pimphony-bench -run <id>):")
+	for _, id := range IDs() {
+		fmt.Fprintf(w, "  %-28s %s\n", id, Description(id))
+	}
+}

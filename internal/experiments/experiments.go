@@ -74,37 +74,47 @@ func (r *Result) String() string {
 // Runner produces a Result.
 type Runner func() (*Result, error)
 
-// registry maps experiment IDs to runners.
-var registry = map[string]Runner{
-	"tab1":  Table1Models,
-	"tab2":  Table2Workloads,
-	"tab4":  Table4Configs,
-	"fig2":  Fig2Motivation,
-	"fig4":  Fig4Utilization,
-	"fig6":  Fig6Partitioning,
-	"fig7":  Fig7DCSExample,
-	"fig8":  Fig8Breakdown,
-	"fig9":  Fig9AttnBreakdown,
-	"fig10": Fig10InstrFootprint,
-	"fig13": Fig13PIMOnly,
-	"fig14": Fig14XPUPIM,
-	"fig15": Fig15Parallelism,
-	"fig16": Fig16Energy,
-	"fig17": Fig17Scalability,
-	"fig18": Fig18PingPong,
-	"fig19": Fig19Capacity,
-	"fig20": Fig20GPUCompare,
+// entry is one registered experiment: its driver plus the one-line
+// description the CLI -list flags print.
+type entry struct {
+	run  Runner
+	desc string
+}
+
+// registry maps experiment IDs to their drivers and descriptions.
+var registry = map[string]entry{
+	"tab1":  {Table1Models, "Table I model specifications and derived weight/KV footprints"},
+	"tab2":  {Table2Workloads, "Table II context-length statistics of the evaluated traces"},
+	"tab4":  {Table4Configs, "Table IV module configurations of the evaluated systems"},
+	"fig2":  {Fig2Motivation, "compute intensity and memory footprint vs context length (motivation)"},
+	"fig4":  {Fig4Utilization, "PIM utilization at short vs long context, CENT vs PIMphony stages"},
+	"fig6":  {Fig6Partitioning, "HFP vs TCP channel activity under TP and PP"},
+	"fig7":  {Fig7DCSExample, "the worked scheduling example: 34 cycles static, 22 DCS"},
+	"fig8":  {Fig8Breakdown, "static-controller latency breakdown across matrix dimensions"},
+	"fig9":  {Fig9AttnBreakdown, "QK^T/SV breakdown with and without DCS under row-reuse"},
+	"fig10": {Fig10InstrFootprint, "static vs DPA instruction footprint vs context length"},
+	"fig13": {Fig13PIMOnly, "PIM-only (CENT) throughput with incremental TCP/DCS/DPA"},
+	"fig14": {Fig14XPUPIM, "xPU+PIM (NeuPIMs) throughput with incremental TCP/DCS/DPA"},
+	"fig15": {Fig15Parallelism, "throughput across (TP,PP) splits on CENT"},
+	"fig16": {Fig16Energy, "attention energy breakdown, CENT vs CENT+PIMphony"},
+	"fig17": {Fig17Scalability, "throughput vs system capacity and vs context length (4K-1M)"},
+	"fig18": {Fig18PingPong, "DCS vs ping-pong buffering compute utilization"},
+	"fig19": {Fig19Capacity, "KV capacity utilization, static reservation vs DPA"},
+	"fig20": {Fig20GPUCompare, "A100 GPU baseline vs memory-matched PIMphony systems"},
+
+	// Cross-backend studies over the system-backend registry.
+	"systems": {SystemsCompare, "all registered backends (pim-only, xpu+pim, gpu, dimm-pim) on shared workloads"},
 
 	// Online serving studies beyond the paper's batch evaluation.
-	"serve":    ServeCurve,
-	"capacity": CapacityGap,
+	"serve":    {ServeCurve, "online latency-throughput curve under TTFT/TBT SLOs"},
+	"capacity": {CapacityGap, "online Static-vs-DPA capacity gap at an equal KV budget"},
 
 	// Design-choice ablations beyond the paper's figures.
-	"abl-ismac":   AblationIsMAC,
-	"abl-obuf":    AblationOBufDepth,
-	"abl-chunk":   AblationChunkSize,
-	"abl-tcp":     AblationTCPReduce,
-	"abl-prefill": AblationPrefill,
+	"abl-ismac":   {AblationIsMAC, "MAC-command issue-interval sensitivity"},
+	"abl-obuf":    {AblationOBufDepth, "output-buffer depth sensitivity"},
+	"abl-chunk":   {AblationChunkSize, "DPA allocation chunk-size sensitivity"},
+	"abl-tcp":     {AblationTCPReduce, "TCP reduction-cost sensitivity"},
+	"abl-prefill": {AblationPrefill, "prefill-phase cost across system backends"},
 }
 
 // IDs returns all experiment identifiers in sorted order.
@@ -117,11 +127,15 @@ func IDs() []string {
 	return ids
 }
 
+// Description returns an experiment's one-line description ("" for
+// unknown IDs).
+func Description(id string) string { return registry[id].desc }
+
 // Run executes one experiment by ID.
 func Run(id string) (*Result, error) {
-	r, ok := registry[id]
+	e, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown id %q (known: %v)", id, IDs())
 	}
-	return r()
+	return e.run()
 }

@@ -2,12 +2,14 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"testing"
 
+	"pimphony/internal/backend"
 	"pimphony/internal/sweep"
 )
 
@@ -306,5 +308,31 @@ func TestFig18Bands(t *testing.T) {
 		if gain > 3.0 {
 			t.Errorf("%s: DCS gain %.2fx implausible (paper: up to 1.4x)", row[0], gain)
 		}
+	}
+}
+
+// TestCatalogListsEverything: the shared -list body must name every
+// registered backend and every experiment with a description, and run
+// the mid-section hook between them.
+func TestCatalogListsEverything(t *testing.T) {
+	var b strings.Builder
+	Catalog(&b, func(w io.Writer) { fmt.Fprintln(w, "MID-SECTION") })
+	out := b.String()
+	for _, name := range backend.Names() {
+		if !strings.Contains(out, name) {
+			t.Errorf("catalog misses backend %q", name)
+		}
+	}
+	for _, id := range IDs() {
+		if !strings.Contains(out, id) {
+			t.Errorf("catalog misses experiment %q", id)
+		}
+		if Description(id) == "" {
+			t.Errorf("experiment %q has no description", id)
+		}
+	}
+	mid := strings.Index(out, "MID-SECTION")
+	if mid < 0 || mid < strings.Index(out, "pim-only") || mid > strings.Index(out, "experiments (") {
+		t.Error("mid-section hook not rendered between backends and experiments")
 	}
 }

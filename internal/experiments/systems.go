@@ -413,6 +413,62 @@ func Fig20GPUCompare() (*Result, error) {
 		Notes: []string{"paper: largest gains on non-GQA models; the GPU's FC advantage narrows the 72B gap"}}, nil
 }
 
+// SystemsCompare prices every registered system backend — PIM-only
+// (CENT), xPU+PIM (NeuPIMs), the A100 GPU baseline, and the DIMM-PIM
+// (L3/LoL-PIM-style) organisation — on the shared (model, trace) grid,
+// with full PIMphony techniques wherever PIM attention applies. The
+// column set is derived from the backend registry, so a newly
+// registered backend appears here without touching the driver.
+func SystemsCompare() (*Result, error) {
+	presets := core.Presets()
+	headers := []string{"model", "trace"}
+	for _, p := range presets {
+		headers = append(headers, p.Backend)
+	}
+	headers = append(headers, "best-vs-gpu")
+	t := tablefmt.New("Systems — decode throughput (tokens/s) across registered backends (PIMphony techniques where applicable)",
+		headers...)
+	rows, err := sweep.Rows(context.Background(), modelTraceGrid(sweepModels()),
+		func(ctx context.Context, p modelTrace) ([]any, error) {
+			reqs := requestPool(p.tr, pool(48))
+			tputs, err := sweep.Run(ctx, presets, func(ctx context.Context, pr core.Preset) (float64, error) {
+				sys, err := core.NewSystem(pr.Make(p.m, core.PIMphony()))
+				if err != nil {
+					return 0, err
+				}
+				rep, err := sys.ServeCtx(ctx, reqs)
+				if err != nil {
+					return 0, err
+				}
+				return rep.Throughput, nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", p.m.Name, p.tr.Name, err)
+			}
+			row := []any{p.m.Name, p.tr.Name}
+			var gpuTput, best float64
+			for i, pr := range presets {
+				row = append(row, tputs[i])
+				if pr.Backend == cluster.GPUSystem {
+					gpuTput = tputs[i]
+				} else if tputs[i] > best {
+					best = tputs[i]
+				}
+			}
+			row = append(row, best/gpuTput)
+			return row, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	addRows(t, rows)
+	return &Result{ID: "systems", Title: "Cross-backend system comparison", Tables: []*tablefmt.Table{t},
+		Notes: []string{
+			"columns follow the backend registry; dimm-pim trades internal bandwidth per GiB for an all-KV DIMM pool (weights on the host GPU)",
+			"gpu throughput can exceed the PIM systems on short-context non-GQA mixes where FC dominates; the PIM backends win as attention bytes take over",
+		}}, nil
+}
+
 // AblationPrefill quantifies the prompt-processing (prefill) phase the
 // decode-centric evaluation holds fixed: PIM-only systems prefill on their
 // weak dense engine, which is why heterogeneous designs (NeuPIMs, Hybe)

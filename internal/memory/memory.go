@@ -322,7 +322,102 @@ func (d *DPA) pop(n int) []ChunkID {
 	return out
 }
 
+// ---------------------------------------------------------------------------
+// Paged allocator
+// ---------------------------------------------------------------------------
+
+// Paged reserves exactly the bytes a request's token count occupies —
+// the software model of GPU paged-attention, whose page tables make
+// reservation granularity effectively the token (the page-size
+// fragmentation is already folded into the pool's paged-attention
+// efficiency derate). Unlike Static there is no fixed T_max region, and
+// unlike DPA there is no chunk rounding: admission and growth succeed
+// while the byte sum fits the pool. The GPU backend admits batch decode
+// at the full context+window horizon (upfront reservation) and serving
+// at the live context (growth may fail mid-decode, triggering
+// preemption — the vLLM recompute path).
+type Paged struct {
+	capacity      int64
+	bytesPerToken int64
+	tokens        map[int]int // request -> reserved tokens
+	reserved      int64
+}
+
+// NewPaged builds a paged allocator for a pool of the given capacity.
+func NewPaged(capacity, bytesPerToken int64) (*Paged, error) {
+	if capacity <= 0 || bytesPerToken <= 0 {
+		return nil, fmt.Errorf("memory: paged allocator params must be positive")
+	}
+	return &Paged{capacity: capacity, bytesPerToken: bytesPerToken, tokens: make(map[int]int)}, nil
+}
+
+// Name implements Allocator.
+func (p *Paged) Name() string { return "paged" }
+
+// Admit implements Allocator.
+func (p *Paged) Admit(reqID, tokens int) error {
+	if _, ok := p.tokens[reqID]; ok {
+		return fmt.Errorf("memory: request %d already admitted", reqID)
+	}
+	need := int64(tokens) * p.bytesPerToken
+	if p.reserved+need > p.capacity {
+		return fmt.Errorf("memory: paged pool full (%d of %d bytes)", p.reserved, p.capacity)
+	}
+	p.tokens[reqID] = tokens
+	p.reserved += need
+	return nil
+}
+
+// Grow implements Allocator: extends the request's reservation to
+// newTokens, failing when the pool cannot hold the extra bytes. Growth
+// at or below the current reservation is a no-op — the reservation is a
+// high-water mark, and decode within an upfront context+window
+// reservation never allocates.
+func (p *Paged) Grow(reqID, newTokens int) error {
+	cur, ok := p.tokens[reqID]
+	if !ok {
+		return fmt.Errorf("memory: request %d not admitted", reqID)
+	}
+	if newTokens <= cur {
+		return nil
+	}
+	extra := int64(newTokens-cur) * p.bytesPerToken
+	if p.reserved+extra > p.capacity {
+		return fmt.Errorf("memory: paged pool full (%d of %d bytes)", p.reserved, p.capacity)
+	}
+	p.tokens[reqID] = newTokens
+	p.reserved += extra
+	return nil
+}
+
+// Release implements Allocator.
+func (p *Paged) Release(reqID int) error {
+	cur, ok := p.tokens[reqID]
+	if !ok {
+		return fmt.Errorf("memory: request %d not admitted", reqID)
+	}
+	p.reserved -= int64(cur) * p.bytesPerToken
+	delete(p.tokens, reqID)
+	return nil
+}
+
+// CanAdmit implements Allocator.
+func (p *Paged) CanAdmit(tokens int) bool {
+	return p.reserved+int64(tokens)*p.bytesPerToken <= p.capacity
+}
+
+// LiveBytes implements Allocator: every reserved byte is backed by KV
+// data (no over-reservation).
+func (p *Paged) LiveBytes() int64 { return p.reserved }
+
+// ReservedBytes implements Allocator.
+func (p *Paged) ReservedBytes() int64 { return p.reserved }
+
+// CapacityBytes implements Allocator.
+func (p *Paged) CapacityBytes() int64 { return p.capacity }
+
 var (
 	_ Allocator = (*Static)(nil)
 	_ Allocator = (*DPA)(nil)
+	_ Allocator = (*Paged)(nil)
 )

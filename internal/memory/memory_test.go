@@ -510,3 +510,60 @@ func TestAccountingUnderPreemptionChurn(t *testing.T) {
 		t.Errorf("drained pool not empty: reserved %d live %d", d.ReservedBytes(), d.LiveBytes())
 	}
 }
+
+// TestPagedAllocatorRoundTrip exercises the GPU paged allocator the way
+// the serving engine drives it: admit at live context, grow per token,
+// fail at the pool edge, release. Growth at or below the current
+// reservation must be a no-op — the batch simulator re-grows within the
+// upfront context+window reservation every step.
+func TestPagedAllocatorRoundTrip(t *testing.T) {
+	a, err := NewPaged(1000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "paged" {
+		t.Errorf("name %q", a.Name())
+	}
+	if err := a.Admit(1, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Admit(1, 10); err == nil {
+		t.Error("double admit should fail")
+	}
+	if a.LiveBytes() != 500 || a.ReservedBytes() != 500 || a.CapacityBytes() != 1000 {
+		t.Fatalf("reserved %d live %d cap %d", a.ReservedBytes(), a.LiveBytes(), a.CapacityBytes())
+	}
+	if !a.CanAdmit(50) || a.CanAdmit(51) {
+		t.Error("CanAdmit boundary wrong")
+	}
+	if err := a.Admit(2, 51); err == nil {
+		t.Error("admit past the pool should fail")
+	}
+	if err := a.Grow(1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Grow(1, 101); err == nil {
+		t.Error("growth past the pool should fail")
+	}
+	if err := a.Grow(1, 40); err != nil {
+		t.Errorf("growth within the reservation must be a no-op: %v", err)
+	}
+	if a.ReservedBytes() != 1000 {
+		t.Errorf("no-op growth changed the reservation to %d", a.ReservedBytes())
+	}
+	if err := a.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	if a.ReservedBytes() != 0 {
+		t.Errorf("reserved %d after release", a.ReservedBytes())
+	}
+	if err := a.Grow(1, 10); err == nil {
+		t.Error("grow after release should fail")
+	}
+	if err := a.Release(1); err == nil {
+		t.Error("double release should fail")
+	}
+	if _, err := NewPaged(0, 10); err == nil {
+		t.Error("zero capacity should fail")
+	}
+}

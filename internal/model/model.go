@@ -187,6 +187,35 @@ func (c Config) FCShapes() []FCShape {
 	}
 }
 
+// FCLayerFlops is the FLOPs of one token's FC projections in a single
+// layer (multiply-accumulate = 2 FLOPs), summed over FCShapes in
+// execution order. It is the single source of truth for the FC-FLOPs
+// loops the prefill estimator and every decode backend used to carry
+// separately.
+func (c Config) FCLayerFlops() int64 {
+	var flops int64
+	for _, sh := range c.FCShapes() {
+		flops += 2 * int64(sh.DIn) * int64(sh.DOut) * int64(sh.Count)
+	}
+	return flops
+}
+
+// FCLayerWeightBytes is the weight bytes read by one layer's FC
+// projections (one streaming pass over every projection matrix).
+func (c Config) FCLayerWeightBytes() int64 {
+	var bytes int64
+	for _, sh := range c.FCShapes() {
+		bytes += int64(sh.DIn) * int64(sh.DOut) * int64(sh.Count) * int64(c.ElemBytes)
+	}
+	return bytes
+}
+
+// FCFlopsPerToken is the FC FLOPs of generating one token across all
+// layers: Layers x FCLayerFlops.
+func (c Config) FCFlopsPerToken() int64 {
+	return int64(c.Layers) * c.FCLayerFlops()
+}
+
 // AttentionShape describes the per-layer attention work of one request.
 type AttentionShape struct {
 	KVHeads int // independent KV head kernels

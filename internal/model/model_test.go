@@ -186,3 +186,35 @@ func TestBatchRaisesIntensity(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestFCWorkHelpers pins the deduplicated FC-work helpers against the
+// direct FCShapes loops they replaced (the prefill estimator and the
+// decode backends all price FC through them now) and against the
+// independent DecodeFLOPs accounting.
+func TestFCWorkHelpers(t *testing.T) {
+	for _, m := range All() {
+		var wantFlops, wantBytes int64
+		for _, sh := range m.FCShapes() {
+			wantFlops += 2 * int64(sh.DIn) * int64(sh.DOut) * int64(sh.Count)
+			wantBytes += int64(sh.DIn) * int64(sh.DOut) * int64(sh.Count) * int64(m.ElemBytes)
+		}
+		if got := m.FCLayerFlops(); got != wantFlops {
+			t.Errorf("%s: FCLayerFlops %d, want %d", m.Name, got, wantFlops)
+		}
+		if got := m.FCLayerWeightBytes(); got != wantBytes {
+			t.Errorf("%s: FCLayerWeightBytes %d, want %d", m.Name, got, wantBytes)
+		}
+		if got, want := m.FCFlopsPerToken(), int64(m.Layers)*wantFlops; got != want {
+			t.Errorf("%s: FCFlopsPerToken %d, want %d", m.Name, got, want)
+		}
+		// At zero context, a decode step is pure FC work.
+		if got, want := m.FCFlopsPerToken(), m.DecodeFLOPs(0); got != want {
+			t.Errorf("%s: FCFlopsPerToken %d != DecodeFLOPs(0) %d", m.Name, got, want)
+		}
+		// One streaming pass over every FC weight is the whole layer's
+		// parameter footprint.
+		if got, want := m.FCLayerWeightBytes()*int64(m.Layers), m.WeightBytes(); got != want {
+			t.Errorf("%s: FC weight bytes %d != WeightBytes %d", m.Name, got, want)
+		}
+	}
+}

@@ -61,7 +61,9 @@ func (s SLO) Met(ttft, tbt float64) bool {
 // Config describes one serving simulation.
 type Config struct {
 	// System is the replica template; every replica is an independent
-	// cluster.System built from it. GPU systems are not servable (see
+	// cluster.System built from it. Every registered backend is
+	// servable — PIM systems admit against their static/DPA allocator,
+	// the GPU baseline against its paged pool (see
 	// cluster.System.NewEngine).
 	System cluster.Config
 	// Replicas is the number of identical decode engines behind the

@@ -16,7 +16,7 @@ import (
 func testSystem() cluster.Config {
 	return cluster.Config{
 		Name:         "serve-test",
-		Kind:         cluster.PIMOnly,
+		Backend:      cluster.PIMOnly,
 		Dev:          timing.AiM16().WithChannels(32).WithCapacity(16 << 30),
 		Modules:      8,
 		TP:           8,
@@ -333,5 +333,31 @@ func TestCapacityStatsReported(t *testing.T) {
 	if srep.Capacity.MaxActive > rep.Capacity.MaxActive {
 		t.Errorf("static admitted more (%d) than DPA (%d) at the same budget",
 			srep.Capacity.MaxActive, rep.Capacity.MaxActive)
+	}
+}
+
+// TestServeGPUAndDIMMBackends: the serving simulator now accepts every
+// registered backend — the GPU baseline is admitted against its paged
+// pool and the DIMM-PIM system against its all-KV DIMM pool — and both
+// complete a schedule with positive SLO metrics.
+func TestServeGPUAndDIMMBackends(t *testing.T) {
+	arr := testArrivals(t, 12, 16)
+	gpuCfg := cluster.Config{Name: "serve-gpu", Backend: cluster.GPUSystem,
+		Model: model.LLM7B32K(), GPUs: 2, DecodeWindow: 4}
+	dimmCfg := cluster.Config{Name: "serve-dimm", Backend: cluster.DIMMPIM,
+		Dev: timing.DDR5DIMM(), Modules: 8, TP: 8, PP: 1,
+		Model: model.LLM7B32K(), Tech: cluster.PIMphony(), DecodeWindow: 4}
+	for _, sys := range []cluster.Config{gpuCfg, dimmCfg} {
+		rep := run(t, Config{System: sys, Replicas: 1, Policy: RoundRobin(),
+			SLO: SLO{TTFT: 10, TBT: 1}}, arr)
+		if rep.Requests != 12 {
+			t.Fatalf("%s: served %d of 12", sys.Name, rep.Requests)
+		}
+		if rep.Throughput <= 0 || rep.TTFT.P50 <= 0 || rep.TBT.P95 <= 0 {
+			t.Errorf("%s: missing metrics %+v", sys.Name, rep)
+		}
+		if rep.Capacity.PoolBytes <= 0 || rep.Capacity.PeakLiveBytes <= 0 {
+			t.Errorf("%s: missing capacity accounting %+v", sys.Name, rep.Capacity)
+		}
 	}
 }

@@ -97,6 +97,27 @@ func AiM16() Device {
 	}
 }
 
+// DDR5DIMM returns the commodity DIMM-PIM module of the L3/LoL-PIM-style
+// DIMM-PIM backend: 8 rank-level PIM units ("channels") of 32 DDR5 banks
+// each, a slower command interval than the GDDR6-AiM module (DDR5 bus
+// rate), smaller 1 KB rows with the DDR5-class tRFC, and a narrower
+// host link — but 64 GiB of capacity per DIMM, four times the AiM
+// module. The per-rank MAC bandwidth matches AiM per channel
+// (32 banks x 32 B / 4 cycles = 16 banks x 32 B / 2 cycles), so the
+// DIMM trades internal bandwidth per gigabyte for capacity: the
+// long-context roofline these systems are built around.
+func DDR5DIMM() Device {
+	d := AiM16()
+	d.Channels = 8
+	d.Banks = 32
+	d.RowBytes = 1024
+	d.TCCDS = 4
+	d.TMAC = 4
+	d.TRFC = 410
+	d.LinkBytesPerCycle = 32
+	return d.WithCapacity(64 << 30)
+}
+
 // Validate reports a descriptive error if the device configuration is
 // internally inconsistent.
 func (d Device) Validate() error {

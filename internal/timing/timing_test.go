@@ -120,3 +120,30 @@ func TestInternalBandwidthPlausible(t *testing.T) {
 		t.Fatalf("InternalBandwidth = %f, want 4096 B/cycle", got)
 	}
 }
+
+// TestDDR5DIMM pins the DIMM-PIM module geometry: a valid device with
+// 64 GiB capacity and the same per-rank MAC bandwidth as an AiM channel
+// (the DIMM trades bandwidth per gigabyte for capacity, not per rank).
+func TestDDR5DIMM(t *testing.T) {
+	d := DDR5DIMM()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.ModuleBytes(); got < 63<<30 || got > 64<<30 {
+		t.Errorf("DIMM capacity %d, want ~64 GiB", got)
+	}
+	a := AiM16()
+	perRankDIMM := float64(d.Banks*d.TileBytes) / float64(d.TCCDS)
+	perChanAiM := float64(a.Banks*a.TileBytes) / float64(a.TCCDS)
+	if perRankDIMM != perChanAiM {
+		t.Errorf("per-rank bandwidth %g, want AiM per-channel %g", perRankDIMM, perChanAiM)
+	}
+	// Internally the DIMM is slower per module: fewer ranks than a
+	// 32-channel AiM module has channels.
+	if d.InternalBandwidth() >= a.WithChannels(32).InternalBandwidth() {
+		t.Error("DIMM internal bandwidth should trail the GDDR6 module")
+	}
+	if d.ChannelBytes()*int64(d.Channels) != d.ModuleBytes() {
+		t.Error("capacity bookkeeping inconsistent")
+	}
+}

@@ -63,6 +63,16 @@ func CENTPNM(internalGBs float64) Device {
 	return Device{Name: "cent-pnm", TFLOPS: 3, MemGBs: internalGBs, MemBytes: 0, ComputeEff: 0.8, MemEff: 0.8}
 }
 
+// DIMMHostGPU is the host-side dense engine of the DIMM-PIM (L3-style)
+// organisation: an A100-class GPU that keeps the full weights resident
+// in its own HBM and runs the batched FC GEMMs there, while attention is
+// offloaded to the DIMM-PIM pool. Distinct from A100(): no
+// flash-decoding/paged-attention software stack applies because the GPU
+// never touches the KV cache.
+func DIMMHostGPU() Device {
+	return Device{Name: "dimm-host-gpu", TFLOPS: 312, MemGBs: 2039, MemBytes: 80 << 30, ComputeEff: 0.7, MemEff: 0.8}
+}
+
 // ---------------------------------------------------------------------------
 // GPU baseline (A100 + flash-decoding + paged-attention)
 // ---------------------------------------------------------------------------

@@ -92,3 +92,20 @@ func TestNPUFasterThanPNMOnGEMM(t *testing.T) {
 		t.Error("NPU should beat PNM on compute-heavy GEMM")
 	}
 }
+
+// TestDIMMHostGPU: the DIMM-PIM host engine is A100-class on the
+// rooflines but carries no paged-attention/flash-decoding software
+// stack (it never touches KV).
+func TestDIMMHostGPU(t *testing.T) {
+	h := DIMMHostGPU()
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a := A100()
+	if h.TFLOPS != a.TFLOPS || h.MemGBs != a.MemGBs {
+		t.Errorf("host rooflines %g/%g diverged from A100 %g/%g", h.TFLOPS, h.MemGBs, a.TFLOPS, a.MemGBs)
+	}
+	if h.OpTime(1e12, 1e9) <= 0 {
+		t.Error("OpTime must be positive")
+	}
+}
