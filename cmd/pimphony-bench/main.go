@@ -29,6 +29,7 @@ import (
 
 	"pimphony/internal/benchgate"
 	"pimphony/internal/experiments"
+	"pimphony/internal/profiling"
 	"pimphony/internal/sweep"
 )
 
@@ -43,6 +44,12 @@ type outcome struct {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries main's body so deferred cleanup (profile flushing) still
+// happens on failing exits.
+func run() int {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	run := flag.String("run", "all", "experiment id to run, or 'all'")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -52,21 +59,29 @@ func main() {
 	gateCheck := flag.String("gate-check", "", "compare the gate measurements against this baseline file and exit non-zero on >tolerance regression or table drift")
 	gateTol := flag.Float64("gate-tol", 0.20, "relative runtime regression tolerance for -gate-check")
 	gateRuns := flag.Int("gate-runs", 3, "timing repetitions per gated experiment (best run is kept)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer stopProf()
 
 	sweep.SetDefault(*parallel)
 	experiments.SetShort(*short)
 
 	if *gateEmit != "" || *gateCheck != "" {
-		runGate(*gateEmit, *gateCheck, *gateTol, *gateRuns)
-		return
+		return runGate(*gateEmit, *gateCheck, *gateTol, *gateRuns)
 	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
 		}
-		return
+		return 0
 	}
 
 	ids := experiments.IDs()
@@ -117,40 +132,42 @@ func main() {
 		return struct{}{}, nil
 	})
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // runGate measures the gated experiments and optionally writes the
-// artifact and/or checks it against a baseline.
-func runGate(emitPath, checkPath string, tol float64, runs int) {
+// artifact and/or checks it against a baseline, returning the exit code.
+func runGate(emitPath, checkPath string, tol float64, runs int) int {
 	cur, err := benchgate.Collect(benchgate.DefaultIDs(), runs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	if emitPath != "" {
 		if err := cur.Save(emitPath); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("wrote %s (%d experiments, calib %.1fms)\n",
 			emitPath, len(cur.Experiments), float64(cur.CalibNs)/1e6)
 	}
 	if checkPath == "" {
-		return
+		return 0
 	}
 	base, err := benchgate.Load(checkPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	if problems := benchgate.Compare(base, cur, tol); len(problems) > 0 {
 		fmt.Fprintf(os.Stderr, "bench-regression gate FAILED vs %s:\n", checkPath)
 		for _, p := range problems {
 			fmt.Fprintf(os.Stderr, "  - %s\n", p)
 		}
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("bench-regression gate passed vs %s (tolerance %.0f%%)\n", checkPath, 100*tol)
+	return 0
 }

@@ -44,6 +44,7 @@ import (
 	"pimphony/internal/core"
 	"pimphony/internal/experiments"
 	"pimphony/internal/model"
+	"pimphony/internal/profiling"
 	"pimphony/internal/serve"
 	"pimphony/internal/sweep"
 	"pimphony/internal/workload"
@@ -105,6 +106,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "sweep worker bound, 0 = GOMAXPROCS (1 reproduces fully sequential runs)")
 	csv := flag.Bool("csv", false, "emit CSV instead of the aligned table")
 	list := flag.Bool("list", false, "list registered backends and experiments with descriptions, then exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *list {
@@ -112,14 +115,24 @@ func main() {
 		return
 	}
 
-	sweep.SetDefault(*parallel)
-	m, err := model.ByFlag(*modelName)
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer stopProf()
+	// fatal/fatalf flush the profiles before exiting (log.Fatal skips
+	// defers).
+	fatal := func(v ...any) { stopProf(); log.Fatal(v...) }
+	fatalf := func(format string, v ...any) { stopProf(); log.Fatalf(format, v...) }
+
+	sweep.SetDefault(*parallel)
+	m, err := model.ByFlag(*modelName)
+	if err != nil {
+		fatal(err)
+	}
 	preset, err := core.PresetByFlag(*system)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	sysCfg := preset.Make(m, core.PIMphony())
 	if *kvBudget > 0 {
@@ -132,17 +145,17 @@ func main() {
 	// fixed-allocator backend is caught too.
 	probe, err := cluster.New(sysCfg)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fixedAlloc := probe.FixedAllocator()
 
 	rateList, err := splitFloats(*rates)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	replList, err := splitInts(*replicas)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	// One deterministic schedule per rate: the request sequence (sizes,
@@ -190,10 +203,10 @@ func main() {
 
 	if *capacity {
 		if *prefill {
-			log.Fatal("-prefill is not supported in -capacity mode (the capacity table reports decode-side latencies only)")
+			fatal("-prefill is not supported in -capacity mode (the capacity table reports decode-side latencies only)")
 		}
 		if fixedAlloc {
-			log.Fatalf("-capacity compares the static and dpa KV allocators; the %s backend admits against its own fixed pool", sysCfg.Backend)
+			fatalf("-capacity compares the static and dpa KV allocators; the %s backend admits against its own fixed pool", sysCfg.Backend)
 		}
 		allocList := strings.TrimSpace(*alloc)
 		if allocList == "" {
@@ -217,7 +230,7 @@ func main() {
 		policy := "round-robin"
 		if policySet {
 			if strings.Contains(*policies, ",") {
-				log.Fatalf("-capacity sweeps allocators under a single -policy; got %q", *policies)
+				fatalf("-capacity sweeps allocators under a single -policy; got %q", *policies)
 			}
 			policy = strings.TrimSpace(*policies)
 		}
@@ -225,7 +238,7 @@ func main() {
 			*system, m.Name, strings.TrimSpace(*traceName), workDesc, *decode, budgetDesc(sysCfg.KVBudgetBytes), *sloTTFT, *sloTBT)
 		t, err := serve.CapacityTable(context.Background(), title, sysCfg, policy, pts, slo, mkArrivals)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		emit(t)
 		return
@@ -237,10 +250,10 @@ func main() {
 	case "static":
 		sysCfg.Tech.DPA = false
 	default:
-		log.Fatalf("unknown allocator %q (static, dpa; comma-separated sweeps need -capacity)", *alloc)
+		fatalf("unknown allocator %q (static, dpa; comma-separated sweeps need -capacity)", *alloc)
 	}
 	if fixedAlloc && strings.TrimSpace(*alloc) != "" {
-		log.Fatalf("-alloc selects the technique KV allocator; the %s backend always admits against its own fixed pool", sysCfg.Backend)
+		fatalf("-alloc selects the technique KV allocator; the %s backend always admits against its own fixed pool", sysCfg.Backend)
 	}
 	var pts []serve.CurvePoint
 	for _, pol := range strings.Split(*policies, ",") {
@@ -255,7 +268,7 @@ func main() {
 		*system, m.Name, strings.TrimSpace(*traceName), workDesc, *decode, *sloTTFT, *sloTBT)
 	t, err := serve.CurveTable(context.Background(), title, sysCfg, pts, slo, *prefill, mkArrivals)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	emit(t)
 }

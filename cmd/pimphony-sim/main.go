@@ -26,6 +26,7 @@ import (
 	"pimphony/internal/core"
 	"pimphony/internal/experiments"
 	"pimphony/internal/model"
+	"pimphony/internal/profiling"
 	"pimphony/internal/sweep"
 	"pimphony/internal/tablefmt"
 	"pimphony/internal/workload"
@@ -53,12 +54,22 @@ func main() {
 	seed := flag.Int64("seed", 42, "workload RNG seed")
 	parallel := flag.Int("parallel", 0, "worker bound per sweep level, 0 = GOMAXPROCS (nested sweeps each apply their own bound; 1 reproduces fully sequential runs)")
 	list := flag.Bool("list", false, "list registered backends and experiments with descriptions, then exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *list {
 		experiments.Catalog(os.Stdout, nil)
 		return
 	}
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
+	// fatal flushes the profiles before exiting (log.Fatal skips defers).
+	fatal := func(v ...any) { stopProf(); log.Fatal(v...) }
 
 	sweep.SetDefault(*parallel)
 	tech := core.Technique{TCP: *tcp, DCS: *dcs, DPA: *dpa}
@@ -73,7 +84,7 @@ func main() {
 		}
 		gen, err := workload.GeneratorByFlag(tName, *seed)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		poolByTrace[tName] = gen.Batch(*pool)
 	}
@@ -82,12 +93,12 @@ func main() {
 	for _, sysName := range strings.Split(*system, ",") {
 		preset, err := core.PresetByFlag(sysName)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		for _, mName := range strings.Split(*modelName, ",") {
 			m, err := model.ByFlag(strings.TrimSpace(mName))
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			cfg := preset.Make(m, tech)
 			if *tp > 0 && *pp > 0 {
@@ -116,7 +127,7 @@ func main() {
 		return sys.ServeCtx(ctx, p.reqs)
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	if len(pts) == 1 {

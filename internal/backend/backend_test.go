@@ -402,3 +402,69 @@ func TestAllocatorFallbackSelection(t *testing.T) {
 		}
 	}
 }
+
+// TestStepperMatchesStep pins the incremental stepper's contract: for
+// every PIM-attention backend, technique mix and geometry, the memoized
+// pricer must return the exact StepCost the naive Backend.Step computes
+// — bit for bit — across growing token counts (bucket crossings
+// included) and changing batch compositions.
+func TestStepperMatchesStep(t *testing.T) {
+	m := model.LLM7B32K()
+	gqa := model.LLM7B128KGQA()
+	shardEnv := pimEnv(gqa, PIMphony())
+	shardEnv.TP = 2 * gqa.KVHeads() // token-axis sharding past the head count
+	shardEnv.Modules = shardEnv.TP
+	ppEnv := pimEnv(m, PIMphony())
+	ppEnv.TP, ppEnv.PP = 4, 2 // pipeline fallback path
+	cases := []struct {
+		name string
+		be   Backend
+		env  *Env
+	}{
+		{"pim-baseline", pimOnly{}, pimEnv(m, Baseline())},
+		{"pim-pimphony", pimOnly{}, pimEnv(m, PIMphony())},
+		{"pim-tcp-only", pimOnly{}, pimEnv(m, Technique{TCP: true})},
+		{"pim-dcs-only", pimOnly{}, pimEnv(m, Technique{DCS: true})},
+		{"pim-gqa-rowreuse", pimOnly{}, pimEnv(gqa, PIMphony())},
+		{"pim-gqa-hfp", pimOnly{}, pimEnv(gqa, Baseline())},
+		{"pim-token-sharded", pimOnly{}, shardEnv},
+		{"pim-pipelined", pimOnly{}, ppEnv},
+		{"xpu-pimphony", xpuPIM{}, pimEnv(m, PIMphony())},
+		{"xpu-baseline", xpuPIM{}, pimEnv(m, Baseline())},
+		{"dimm-pimphony", dimmPIM{}, dimmEnv(m, PIMphony())},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.be.Validate(c.env); err != nil {
+				t.Fatalf("config invalid: %v", err)
+			}
+			st := c.be.(Incremental).NewStepper(c.env)
+			batch := smallBatch(5)
+			// A tiny context exercises the sub-channel (zero-token slice)
+			// edge; a huge one the quantization cap.
+			batch[0].Context = 10
+			batch[1].Context = 70000
+			for step := 0; step < 48; step++ {
+				if step == 20 {
+					batch = batch[:3] // completion shrinks the batch
+				}
+				if step == 30 {
+					batch = append(batch, smallBatch(7)[6]) // admission
+				}
+				grown := step
+				tokensOf := func(r workload.Request) int { return r.Context + grown }
+				want, err := c.be.Step(context.Background(), c.env, batch, tokensOf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := st.Step(context.Background(), batch, tokensOf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("step %d diverged:\nstepper %+v\nnaive   %+v", step, got, want)
+				}
+			}
+		})
+	}
+}

@@ -221,17 +221,13 @@ func (pimShared) syncCycles(env *Env, batch int) timing.Cycles {
 	return 2 * (env.Dev.LinkLatency + per) // attention-out + FFN-out
 }
 
-// stageTime returns the per-stage time in seconds for a micro-batch, plus
-// the attention stats for utilization/energy accounting.
-func (p pimShared) stageTime(env *Env, reqs []workload.Request, tokensOf TokensOf, fc fcFunc, combine combineFunc) (float64, Stats, float64, error) {
+// composeStage folds one layer's attention stats with the FC and TP
+// all-reduce costs into the per-stage time. The naive step path and the
+// memoizing stepper (stepper.go) share it, so the two produce
+// bit-identical stage times from the same per-layer inputs.
+func composeStage(env *Env, at Stats, fcSec, syncSec float64, combine combineFunc) (float64, Stats, float64) {
 	layers := env.Model.Layers / env.PP
-	at, err := p.attentionLayer(env, reqs, tokensOf)
-	if err != nil {
-		return 0, Stats{}, 0, err
-	}
 	attnSec := float64(at.Cycles) / cyclesPerSecond
-	fcSec := fc(env, len(reqs))
-	syncSec := float64(p.syncCycles(env, len(reqs))) / cyclesPerSecond
 	layerSec := combine(attnSec, fcSec, syncSec)
 	stage := layerSec * float64(layers)
 	attnShare := attnSec / layerSec
@@ -241,6 +237,19 @@ func (p pimShared) stageTime(env *Env, reqs []workload.Request, tokensOf TokensO
 	at.MACs *= int64(layers)
 	at.IOBytes *= int64(layers)
 	at.ActPre *= int64(layers)
+	return stage, at, attnShare
+}
+
+// stageTime returns the per-stage time in seconds for a micro-batch, plus
+// the attention stats for utilization/energy accounting.
+func (p pimShared) stageTime(env *Env, reqs []workload.Request, tokensOf TokensOf, fc fcFunc, combine combineFunc) (float64, Stats, float64, error) {
+	at, err := p.attentionLayer(env, reqs, tokensOf)
+	if err != nil {
+		return 0, Stats{}, 0, err
+	}
+	fcSec := fc(env, len(reqs))
+	syncSec := float64(p.syncCycles(env, len(reqs))) / cyclesPerSecond
+	stage, at, attnShare := composeStage(env, at, fcSec, syncSec, combine)
 	return stage, at, attnShare, nil
 }
 

@@ -1,0 +1,250 @@
+package backend
+
+import (
+	"context"
+
+	"pimphony/internal/perfmodel"
+	"pimphony/internal/timing"
+	"pimphony/internal/workload"
+)
+
+// Incremental is an optional Backend refinement: backends whose Step
+// cost is dominated by re-deriving the per-channel work assignment and
+// re-pricing kernel shapes implement it to expose a stateful stepper
+// that memoizes those derivations across decode iterations. A stepper's
+// Step must be observationally identical to the backend's own Step —
+// the same StepCost bit for bit — differing only in wall-clock cost;
+// the cluster step loops route every iteration through it when present.
+type Incremental interface {
+	NewStepper(env *Env) Stepper
+}
+
+// Stepper prices decode iterations for one system with state memoized
+// across calls. Steppers are stateful and not safe for concurrent use;
+// each cluster.System owns exactly one.
+type Stepper interface {
+	Step(ctx context.Context, batch []workload.Request, tokensOf TokensOf) (StepCost, error)
+}
+
+// pimStepper is the incremental pricer shared by the PIM-attention
+// backends. attentionLayer re-derives the same structures on every
+// iteration: the mapping.Assign work lists — whose per-channel shape
+// follows in closed form from the partitioning strategy — and the
+// per-work perfmodel latencies, which collapse to at most two distinct
+// shapes per request under TCP (token slices of base and base+1 tokens)
+// and to the capacity tile plus one remainder under HFP. The stepper
+// computes the per-channel cycle sums directly from those closed forms
+// and memoizes each priced shape, so a decode iteration touches the
+// perfmodel cache only when a token count the stepper has not seen yet
+// appears. Everything ahead of the final stage fold is integer
+// arithmetic over the exact same priced values the naive path sums, and
+// the fold itself is the shared composeStage, which keeps the stepper's
+// StepCost bit-identical to Backend.Step.
+type pimStepper struct {
+	env     *Env
+	shared  pimShared
+	fc      fcFunc
+	combine combineFunc
+
+	// geometry, resolved once per system
+	kvHeads    int
+	tokenShard int
+	tcp        bool
+	capTokens  int // HFP force-split channel capacity
+	sc         perfmodel.Sched
+	baseline   bool
+	queries    int
+
+	lat     map[int]perfmodel.Latency // priceAttention by per-channel tokens
+	fcSec   map[int]float64           // FC cost by micro-batch size
+	syncSec map[int]float64           // TP all-reduce cost by micro-batch size
+	chSum   []timing.Cycles           // per-channel scratch
+}
+
+func newPIMStepper(env *Env, shared pimShared, fc fcFunc, combine combineFunc) *pimStepper {
+	kvHeads, tokenShard := shared.headGeometry(env)
+	sc, baseline := shared.schedKind(env)
+	s := &pimStepper{
+		env: env, shared: shared, fc: fc, combine: combine,
+		kvHeads: kvHeads, tokenShard: tokenShard,
+		tcp: env.Tech.TCP, sc: sc, baseline: baseline,
+		queries: env.Model.GQAGroup,
+		lat:     make(map[int]perfmodel.Latency),
+		fcSec:   make(map[int]float64),
+		syncSec: make(map[int]float64),
+		chSum:   make([]timing.Cycles, env.Dev.Channels),
+	}
+	if !s.tcp {
+		s.capTokens = shared.headCapacityTokens(env)
+	}
+	return s
+}
+
+// Step implements Stepper.
+func (s *pimStepper) Step(ctx context.Context, batch []workload.Request, tokensOf TokensOf) (StepCost, error) {
+	if s.env.PP != 1 {
+		// Pipeline systems evaluate per-request stage times on the sweep
+		// worker pool; the memoized fast path is single-threaded, so they
+		// keep the naive (already parallel) pricing.
+		return s.shared.step(ctx, s.env, batch, tokensOf, s.fc, s.combine)
+	}
+	at, err := s.attention(batch, tokensOf)
+	if err != nil {
+		return StepCost{}, err
+	}
+	sec, stats, share := composeStage(s.env, at, s.fcCost(len(batch)), s.syncCost(len(batch)), s.combine)
+	return StepCost{Seconds: sec, AttnShare: share, Stats: stats}, nil
+}
+
+func (s *pimStepper) fcCost(batch int) float64 {
+	if v, ok := s.fcSec[batch]; ok {
+		return v
+	}
+	v := s.fc(s.env, batch)
+	s.fcSec[batch] = v
+	return v
+}
+
+func (s *pimStepper) syncCost(batch int) float64 {
+	if v, ok := s.syncSec[batch]; ok {
+		return v
+	}
+	v := float64(s.shared.syncCycles(s.env, batch)) / cyclesPerSecond
+	s.syncSec[batch] = v
+	return v
+}
+
+// price memoizes priceAttention for one per-channel token count (the
+// query count is the GQA group for every work of a batch).
+func (s *pimStepper) price(tokens int) (perfmodel.Latency, error) {
+	if l, ok := s.lat[tokens]; ok {
+		return l, nil
+	}
+	l, err := s.shared.priceAttention(s.env, tokens, s.env.Model.HeadDim, s.queries, s.baseline, s.sc)
+	if err != nil {
+		return perfmodel.Latency{}, err
+	}
+	s.lat[tokens] = l
+	return l, nil
+}
+
+// attention reproduces attentionLayer's per-layer Stats without
+// materializing the assignment.
+func (s *pimStepper) attention(reqs []workload.Request, tokensOf TokensOf) (Stats, error) {
+	env := s.env
+	channels := env.Dev.Channels
+	sums := s.chSum
+	for i := range sums {
+		sums[i] = 0
+	}
+	var st Stats
+	st.Channels = channels
+	if s.tcp {
+		// TCP slices every (request, head) token range evenly over all
+		// channels: rem channels carry base+1 tokens, the rest base.
+		for _, r := range reqs {
+			t := (tokensOf(r) + s.tokenShard - 1) / s.tokenShard
+			base, rem := t/channels, t%channels
+			var c0, c1 perfmodel.Latency
+			var err error
+			if base > 0 {
+				if c0, err = s.price(base); err != nil {
+					return Stats{}, err
+				}
+			}
+			if rem > 0 {
+				if c1, err = s.price(base + 1); err != nil {
+					return Stats{}, err
+				}
+			}
+			heads := timing.Cycles(s.kvHeads)
+			for ch := 0; ch < rem; ch++ {
+				sums[ch] += c1.Cycles * heads
+			}
+			if base > 0 {
+				for ch := rem; ch < channels; ch++ {
+					sums[ch] += c0.Cycles * heads
+				}
+			}
+			n1 := int64(rem)
+			n0 := int64(channels - rem)
+			if base == 0 {
+				n0 = 0 // zero-token slices are not placed
+			}
+			kh := int64(s.kvHeads)
+			st.Busy += timing.Cycles((int64(c1.Breakdown.MAC)*n1 + int64(c0.Breakdown.MAC)*n0) * kh)
+			st.MACs += (c1.MACs*n1 + c0.MACs*n0) * kh
+			st.IOBytes += (c1.IOBytes*n1 + c0.IOBytes*n0) * kh
+			st.ActPre += (c1.ActPre*n1 + c0.ActPre*n0) * kh
+		}
+	} else {
+		// HFP places whole (request, head) tiles round-robin, force-split
+		// at the channel capacity — the same placement order Assign uses.
+		i := 0
+		place := func(tokens int) error {
+			c, err := s.price(tokens)
+			if err != nil {
+				return err
+			}
+			sums[i%channels] += c.Cycles
+			st.Busy += c.Breakdown.MAC
+			st.MACs += c.MACs
+			st.IOBytes += c.IOBytes
+			st.ActPre += c.ActPre
+			i++
+			return nil
+		}
+		for _, r := range reqs {
+			t := (tokensOf(r) + s.tokenShard - 1) / s.tokenShard
+			for h := 0; h < s.kvHeads; h++ {
+				tt := t
+				if s.capTokens > 0 {
+					for tt > s.capTokens {
+						if err := place(s.capTokens); err != nil {
+							return Stats{}, err
+						}
+						tt -= s.capTokens
+					}
+				}
+				if tt > 0 {
+					if err := place(tt); err != nil {
+						return Stats{}, err
+					}
+				}
+			}
+		}
+	}
+	var maxCh timing.Cycles
+	for _, c := range sums {
+		if c > maxCh {
+			maxCh = c
+		}
+	}
+	st.Cycles = maxCh
+	var softmax timing.Cycles
+	qHeads := s.kvHeads * env.Model.GQAGroup
+	for _, r := range reqs {
+		softmax += env.Hub.SoftmaxCycles((tokensOf(r)+s.tokenShard-1)/s.tokenShard) * timing.Cycles(qHeads)
+	}
+	st.Cycles += softmax / epuLanes
+	if s.tcp {
+		red := env.Hub.ReduceCycles(channels, env.Model.HeadDim)
+		st.Cycles += red * timing.Cycles(len(reqs)*s.kvHeads) / epuLanes
+	}
+	return st, nil
+}
+
+// NewStepper implements Incremental.
+func (p pimOnly) NewStepper(env *Env) Stepper {
+	return newPIMStepper(env, p.pimShared, pnmFC, additive)
+}
+
+// NewStepper implements Incremental.
+func (x xpuPIM) NewStepper(env *Env) Stepper {
+	return newPIMStepper(env, x.pimShared, npuFC, overlapped)
+}
+
+// NewStepper implements Incremental.
+func (d dimmPIM) NewStepper(env *Env) Stepper {
+	return newPIMStepper(env, d.pimShared, hostFC, overlapped)
+}

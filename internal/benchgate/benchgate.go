@@ -24,6 +24,7 @@ import (
 	"sort"
 	"time"
 
+	"pimphony/internal/cluster"
 	"pimphony/internal/experiments"
 	"pimphony/internal/sweep"
 )
@@ -46,6 +47,12 @@ type Entry struct {
 	// Score is Ns divided by the calibration-loop time: a
 	// machine-speed-normalised cost the gate compares across runs.
 	Score float64 `json:"score"`
+	// SimRate is the experiment's simulator throughput — simulated
+	// decode tokens per wall-second of the best run. It is diagnostic
+	// (raw wall-clock, not machine-normalised like Score, so the gate
+	// does not compare it across hosts); the README's before/after
+	// table and perf PRs read it off this file.
+	SimRate float64 `json:"sim_rate"`
 }
 
 // File is the on-disk gate format.
@@ -106,14 +113,18 @@ func Collect(ids []string, runs int) (*File, error) {
 	for _, id := range ids {
 		var hash string
 		best := int64(1<<63 - 1)
+		var bestToks int64
 		for r := 0; r < runs; r++ {
+			tok0 := cluster.SimulatedTokens()
 			start := time.Now()
 			res, err := experiments.Run(id)
 			if err != nil {
 				return nil, fmt.Errorf("benchgate: %s: %w", id, err)
 			}
-			if d := time.Since(start).Nanoseconds(); d < best {
-				best = d
+			d := time.Since(start).Nanoseconds()
+			toks := cluster.SimulatedTokens() - tok0
+			if d < best {
+				best, bestToks = d, toks
 			}
 			sum := sha256.Sum256([]byte(res.String()))
 			h := hex.EncodeToString(sum[:])
@@ -122,7 +133,8 @@ func Collect(ids []string, runs int) (*File, error) {
 			}
 			hash = h
 		}
-		f.Experiments[id] = Entry{Hash: hash, Ns: best, Score: float64(best) / float64(f.CalibNs)}
+		f.Experiments[id] = Entry{Hash: hash, Ns: best, Score: float64(best) / float64(f.CalibNs),
+			SimRate: float64(bestToks) / (float64(best) / 1e9)}
 	}
 	return f, nil
 }

@@ -20,6 +20,7 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"pimphony/internal/backend"
 	"pimphony/internal/energy"
@@ -31,6 +32,16 @@ import (
 	"pimphony/internal/timing"
 	"pimphony/internal/workload"
 )
+
+// simTokens tallies every decode token priced by a step loop in this
+// process (batch simulator and serving engine alike). The benchgate
+// derives its sim_rate metric — simulated tokens per wall-second — from
+// deltas of this counter around a timed experiment.
+var simTokens atomic.Int64
+
+// SimulatedTokens reports the process-wide count of decode tokens
+// simulated since start.
+func SimulatedTokens() int64 { return simTokens.Load() }
 
 // Re-exported backend names: the values Config.Backend accepts. The
 // full set (including backends registered later) is backend.Names().
@@ -158,12 +169,19 @@ type Report struct {
 }
 
 // System is a reusable simulator instance (kernel latencies are memoized
-// across runs on the same device).
+// across runs on the same device). A System is not safe for concurrent
+// use: the step loops and the backend's incremental stepper share
+// per-System scratch state. Sweeps build one System per point.
 type System struct {
 	cfg Config
 	be  backend.Backend
 	env *backend.Env
 	adm backend.Admission
+	// stepper is the backend's memoizing iteration pricer (nil for
+	// backends without one); iterate routes every decode iteration
+	// through it so both the batch simulator and the serving engine
+	// price steps incrementally.
+	stepper backend.Stepper
 }
 
 // New builds a simulator for a configuration.
@@ -175,10 +193,18 @@ func New(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	env.Perf = perfmodel.New(cfg.Dev)
+	// The latency service is shared per device across all Systems in the
+	// process: kernel pricing is pure in (device, query), so grid sweeps
+	// and serving replicas reuse each other's cold simulations instead
+	// of re-running them per instance.
+	env.Perf = perfmodel.Shared(cfg.Dev)
 	env.Hub = hub.New(cfg.Dev)
 	env.EMod = energy.Default()
-	return &System{cfg: cfg, be: be, env: env, adm: be.Admission(env)}, nil
+	s := &System{cfg: cfg, be: be, env: env, adm: be.Admission(env)}
+	if inc, ok := be.(backend.Incremental); ok {
+		s.stepper = inc.NewStepper(env)
+	}
+	return s, nil
 }
 
 // Config returns the system configuration.
@@ -293,6 +319,33 @@ func (s *System) newAdmitter(reqs []workload.Request) (*admitter, error) {
 	return ad, nil
 }
 
+// admitFits is the admission predicate shared by fill and wouldAdmit
+// (keeping the two in lockstep is what keeps Leap equivalent to Step):
+// whether a pending request can be admitted right now — headroom to
+// grow to its horizon without eviction, and under head-first placement
+// the per-channel head budget — plus the head-budget charge admission
+// would record.
+func (a *admitter) admitFits(r workload.Request) (bool, int64) {
+	s := a.sys
+	need := a.horizon(r)
+	if !a.alloc.CanAdmit(need) {
+		return false, 0
+	}
+	var headNeed int64
+	if a.headFirst {
+		// Static allocation also reserves T_max per channel tile.
+		reserve := int64(s.tmax())
+		if s.cfg.Tech.DPA {
+			reserve = int64(need)
+		}
+		headNeed = reserve * int64(a.kvHeads)
+		if a.headUsed+headNeed > a.headBudget {
+			return false, 0
+		}
+	}
+	return true, headNeed
+}
+
 // fill admits pending requests FCFS until the head of the queue no longer
 // fits (strict in-order admission, as a serving queue would). Backends
 // with SkipUnfit admission (the GPU's greedy paged pool) scan past
@@ -305,20 +358,7 @@ func (a *admitter) fill() {
 		if s.cfg.MaxBatch > 0 && len(a.active) >= s.cfg.MaxBatch {
 			break
 		}
-		// Headroom: a request must be able to grow to its horizon
-		// without eviction.
-		need := a.horizon(r)
-		fits := a.alloc.CanAdmit(need)
-		var headNeed int64
-		if fits && a.headFirst {
-			// Static allocation also reserves T_max per channel tile.
-			reserve := int64(s.tmax())
-			if s.cfg.Tech.DPA {
-				reserve = int64(need)
-			}
-			headNeed = reserve * int64(a.kvHeads)
-			fits = a.headUsed+headNeed <= a.headBudget
-		}
+		fits, headNeed := a.admitFits(r)
 		if !fits {
 			if a.skipUnfit {
 				skipped = append(skipped, r)
@@ -338,6 +378,32 @@ func (a *admitter) fill() {
 	if len(skipped) > 0 {
 		a.pending = append(skipped, a.pending...)
 	}
+}
+
+// wouldAdmit reports whether fill would admit at least one pending
+// request right now, without admitting it — the serving engine's leap
+// gate: a possible admission forces the one-step path. It shares fill's
+// admitFits predicate, so the two cannot drift apart (a false negative
+// here would break fast-forward equivalence); a request that passes the
+// predicate but fails the allocator's Admit merely costs a harmless
+// single step.
+func (a *admitter) wouldAdmit() bool {
+	if len(a.pending) == 0 {
+		return false
+	}
+	if s := a.sys; s.cfg.MaxBatch > 0 && len(a.active) >= s.cfg.MaxBatch {
+		return false
+	}
+	if a.skipUnfit {
+		for _, r := range a.pending {
+			if fits, _ := a.admitFits(r); fits {
+				return true
+			}
+		}
+		return false
+	}
+	fits, _ := a.admitFits(a.pending[0])
+	return fits
 }
 
 // isActive reports whether a request is currently admitted (headNeed
@@ -402,8 +468,15 @@ func (s *System) formBatch(reqs []workload.Request) (*admitter, error) {
 	return ad, nil
 }
 
-// iterate prices one decode iteration through the configured backend.
+// iterate prices one decode iteration, through the backend's memoizing
+// stepper when it has one (bit-identical to Backend.Step, amortized
+// cheap) and through the backend directly otherwise. Every simulated
+// decode token is tallied for the SimulatedTokens rate metric.
 func (s *System) iterate(ctx context.Context, batch []workload.Request, tokensOf backend.TokensOf) (backend.StepCost, error) {
+	simTokens.Add(int64(len(batch)))
+	if s.stepper != nil {
+		return s.stepper.Step(ctx, batch, tokensOf)
+	}
 	return s.be.Step(ctx, s.env, batch, tokensOf)
 }
 

@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"pimphony/internal/workload"
+)
+
+// benchEngine builds a serving engine with a long-running batch: 8
+// QMSum-sized requests whose generation lengths keep the batch busy for
+// the whole measurement.
+func benchEngine(b *testing.B) *Engine {
+	b.Helper()
+	cfg := engineConfig(b, PIMphony())
+	sys, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := sys.NewEngine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, r := range workload.NewGenerator(workload.QMSum(), 42).Batch(8) {
+		r.Decode = 20000 + i
+		if err := e.Enqueue(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return e
+}
+
+// BenchmarkEngineStep measures the naive one-iteration serving step —
+// admission scan, memoized pricing, growth, retirement — the unit the
+// multi-step fast-forward amortizes away.
+func BenchmarkEngineStep(b *testing.B) {
+	e := benchEngine(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if e.Idle() {
+			b.StopTimer()
+			e = benchEngine(b)
+			b.StartTimer()
+		}
+		if _, err := e.Step(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(e.Generated())/b.Elapsed().Seconds(), "tokens/s")
+}
+
+// BenchmarkEngineLeap measures the fast-forward path: each op is one
+// Leap call, which advances the batch through every iteration up to the
+// next serving event.
+func BenchmarkEngineLeap(b *testing.B) {
+	e := benchEngine(b)
+	tokens := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if e.Idle() {
+			b.StopTimer()
+			tokens += e.Generated()
+			e = benchEngine(b)
+			b.StartTimer()
+		}
+		res, err := e.Leap(context.Background(), 0, math.Inf(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+	b.ReportMetric(float64(tokens+e.Generated())/b.Elapsed().Seconds(), "tokens/s")
+}

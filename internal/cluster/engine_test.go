@@ -10,7 +10,7 @@ import (
 )
 
 // engineConfig is a small CENT-style system for engine tests.
-func engineConfig(t *testing.T, tech Technique) Config {
+func engineConfig(t testing.TB, tech Technique) Config {
 	t.Helper()
 	m := model.LLM7B32K()
 	return Config{

@@ -26,6 +26,17 @@ type Allocator interface {
 	Release(reqID int) error
 	// CanAdmit reports whether a request of the given length would fit.
 	CanAdmit(tokens int) bool
+	// GrowBudget is the batched next-boundary query behind the serving
+	// engine's multi-step fast-forward: how many additional tokens each
+	// of the given admitted requests can absorb, all growing one token
+	// per step in lockstep, before a Grow call could fail (the
+	// preemption/eviction trigger a fast-forward must not skip past).
+	// Growth within the budget may still map memory — allocation that
+	// cannot fail is not an event, and a single batched Grow to the
+	// final count leaves the allocator in the same observable state as
+	// one call per token. Zero means the very next lockstep Grow could
+	// hit a boundary; an unknown request ID also yields zero.
+	GrowBudget(reqIDs []int) int
 	// LiveBytes is the memory holding actual KV data.
 	LiveBytes() int64
 	// ReservedBytes is the memory unavailable to other requests.
@@ -137,6 +148,26 @@ func (s *Static) CanAdmit(tokens int) bool {
 		return false
 	}
 	return s.ReservedBytes()+s.reservePer <= s.capacity
+}
+
+// GrowBudget implements Allocator: static regions are pre-reserved, so
+// growth never allocates and can only fail past T_max — each request's
+// budget is its headroom to the window.
+func (s *Static) GrowBudget(reqIDs []int) int {
+	budget := -1
+	for _, id := range reqIDs {
+		b, ok := s.live[id]
+		if !ok {
+			return 0
+		}
+		if h := s.tmax - int(b/s.bytesPerToken); budget < 0 || h < budget {
+			budget = h
+		}
+	}
+	if budget < 0 {
+		return 0
+	}
+	return budget
 }
 
 // LiveBytes implements Allocator.
@@ -265,6 +296,57 @@ func (d *DPA) Release(reqID int) error {
 
 // CanAdmit implements Allocator.
 func (d *DPA) CanAdmit(tokens int) bool { return d.chunksFor(tokens) <= len(d.freeList) }
+
+// GrowBudget implements Allocator: the largest lockstep growth whose
+// chunk demand across the whole batch fits the free list. Growth within
+// the budget cannot fail at any step prefix (chunk demand is monotone
+// in the step count), so the fast-forward can leap through it; lazy
+// allocation past the budget can exhaust the pool — the preemption
+// trigger. A batched Grow covering several chunks coalesces the
+// per-chunk host messages into one, which only the host-message
+// counter (not any capacity or serving metric) can observe.
+func (d *DPA) GrowBudget(reqIDs []int) int {
+	if len(reqIDs) == 0 {
+		return 0
+	}
+	for _, id := range reqIDs {
+		if _, ok := d.liveTokens[id]; !ok {
+			return 0
+		}
+	}
+	free := len(d.freeList)
+	// Chunks the batch must allocate to grow n tokens per request.
+	need := func(n int) int {
+		total := 0
+		for _, id := range reqIDs {
+			total += d.chunksFor(d.liveTokens[id]+n) - len(d.va2pa[id])
+		}
+		return total
+	}
+	if need(1) > free {
+		return 0
+	}
+	// Exponential then binary search for the largest affordable n: the
+	// demand is monotone in n, and the probe stays cheap because leap
+	// horizons are bounded by completions long before the cap.
+	hi := 1
+	for need(hi) <= free && hi < 1<<30 {
+		hi <<= 1
+	}
+	lo := hi >> 1 // need(lo) <= free < need(hi), or hi hit the cap
+	if hi >= 1<<30 && need(hi) <= free {
+		return hi
+	}
+	for lo+1 < hi {
+		mid := lo + (hi-lo)/2
+		if need(mid) <= free {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
 
 // LiveBytes implements Allocator.
 func (d *DPA) LiveBytes() int64 {
@@ -404,6 +486,23 @@ func (p *Paged) Release(reqID int) error {
 // CanAdmit implements Allocator.
 func (p *Paged) CanAdmit(tokens int) bool {
 	return p.reserved+int64(tokens)*p.bytesPerToken <= p.capacity
+}
+
+// GrowBudget implements Allocator: paged growth reserves every token but
+// can only fail at pool exhaustion, so the lockstep budget is the free
+// pool split evenly across the growing requests (conservative for
+// requests still decoding inside an upfront high-water reservation,
+// whose Grow calls no-op).
+func (p *Paged) GrowBudget(reqIDs []int) int {
+	if len(reqIDs) == 0 {
+		return 0
+	}
+	for _, id := range reqIDs {
+		if _, ok := p.tokens[id]; !ok {
+			return 0
+		}
+	}
+	return int((p.capacity - p.reserved) / p.bytesPerToken / int64(len(reqIDs)))
 }
 
 // LiveBytes implements Allocator: every reserved byte is backed by KV

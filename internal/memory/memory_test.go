@@ -567,3 +567,126 @@ func TestPagedAllocatorRoundTrip(t *testing.T) {
 		t.Error("zero capacity should fail")
 	}
 }
+
+// TestGrowBudgetStatic: static growth never allocates, so the lockstep
+// budget is the tightest headroom to T_max across the batch.
+func TestGrowBudgetStatic(t *testing.T) {
+	s, err := NewStatic(1<<30, 1<<10, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Admit(1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Admit(2, 990); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.GrowBudget([]int{1}); got != 900 {
+		t.Errorf("budget %d, want 900 (T_max headroom)", got)
+	}
+	if got := s.GrowBudget([]int{1, 2}); got != 10 {
+		t.Errorf("batch budget %d, want the tightest request's 10", got)
+	}
+	if got := s.GrowBudget([]int{1, 99}); got != 0 {
+		t.Errorf("unknown request budgeted %d, want 0", got)
+	}
+	if got := s.GrowBudget(nil); got != 0 {
+		t.Errorf("empty batch budgeted %d, want 0", got)
+	}
+	// Growing through the budget must succeed without error.
+	for k := 1; k <= 10; k++ {
+		if err := s.Grow(2, 990+k); err != nil {
+			t.Fatalf("in-budget grow to %d failed: %v", 990+k, err)
+		}
+	}
+	if got := s.GrowBudget([]int{2}); got != 0 {
+		t.Errorf("budget at T_max is %d, want 0", got)
+	}
+}
+
+// TestGrowBudgetDPA: the budget is the largest lockstep growth whose
+// chunk demand fits the free list — growth through it must succeed at
+// every step, growth past it must be able to fail.
+func TestGrowBudgetDPA(t *testing.T) {
+	// 1 KiB/token, 4 KiB chunks -> 4 tokens per chunk, 2-chunk pool.
+	d, err := NewDPA(8<<10, 1<<10, 4<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Admit(1, 4); err != nil { // 1 chunk mapped, 1 chunk free
+		t.Fatal(err)
+	}
+	// One free chunk holds 4 more tokens.
+	if got := d.GrowBudget([]int{1}); got != 4 {
+		t.Errorf("budget %d, want 4 (one free chunk)", got)
+	}
+	for k := 1; k <= 4; k++ {
+		if err := d.Grow(1, 4+k); err != nil {
+			t.Fatalf("in-budget grow to %d failed: %v", 4+k, err)
+		}
+	}
+	if got := d.GrowBudget([]int{1}); got != 0 {
+		t.Errorf("budget of an exhausted pool is %d, want 0", got)
+	}
+	if err := d.Grow(1, 9); err == nil {
+		t.Error("growth past the budget should exhaust the pool")
+	}
+	if got := d.GrowBudget([]int{1, 3}); got != 0 {
+		t.Errorf("unknown request budgeted %d, want 0", got)
+	}
+	if got := d.GrowBudget(nil); got != 0 {
+		t.Errorf("empty batch budgeted %d, want 0", got)
+	}
+	// Two requests sharing the pool split the chunk demand.
+	d2, err := NewDPA(16<<10, 1<<10, 4<<10) // 4 chunks
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Admit(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Admit(2, 4); err != nil {
+		t.Fatal(err)
+	}
+	// 2 free chunks, both requests at a chunk edge: each can take one
+	// chunk's worth of lockstep growth.
+	if got := d2.GrowBudget([]int{1, 2}); got != 4 {
+		t.Errorf("batch budget %d, want 4", got)
+	}
+}
+
+// TestGrowBudgetPaged: every token reserves pool, so the lockstep budget
+// splits the free pool across the growing batch.
+func TestGrowBudgetPaged(t *testing.T) {
+	p, err := NewPaged(100<<10, 1<<10) // 100-token pool
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Admit(1, 30); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Admit(2, 30); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.GrowBudget([]int{1, 2}); got != 20 {
+		t.Errorf("budget %d, want 20 (40 free tokens over 2 requests)", got)
+	}
+	// Growing both through the budget must succeed.
+	for k := 1; k <= 20; k++ {
+		if err := p.Grow(1, 30+k); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Grow(2, 30+k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.GrowBudget([]int{1, 2}); got != 0 {
+		t.Errorf("budget of a full pool is %d, want 0", got)
+	}
+	if got := p.GrowBudget([]int{1, 9}); got != 0 {
+		t.Errorf("unknown request budgeted %d, want 0", got)
+	}
+	if got := p.GrowBudget(nil); got != 0 {
+		t.Errorf("empty batch budgeted %d, want 0", got)
+	}
+}

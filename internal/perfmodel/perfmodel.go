@@ -12,7 +12,9 @@ package perfmodel
 
 import (
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"pimphony/internal/kernels"
 	"pimphony/internal/pim"
@@ -99,14 +101,21 @@ type Latency struct {
 	ActPre    int64
 }
 
-// Service memoizes kernel latencies for one device.
+// Service memoizes kernel latencies for one device. The cache is guarded
+// by an RWMutex so concurrent sweeps sharing a Service stop serializing
+// on cache hits — the hit path takes only the read lock.
 type Service struct {
 	dev timing.Device
 
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	cache map[Query]Latency
 	// Misses counts cold simulations (observability for tests/benches).
 	misses int
+	// lookups counts Price cache consultations. The serving engine's
+	// step-cost memoization is judged by how few of these a run needs —
+	// the pre-memoization step loop consulted the cache once per
+	// (channel, kernel) work unit per decode iteration.
+	lookups atomic.Int64
 }
 
 // New creates a latency service.
@@ -114,12 +123,39 @@ func New(dev timing.Device) *Service {
 	return &Service{dev: dev, cache: make(map[Query]Latency)}
 }
 
+var (
+	sharedMu sync.Mutex
+	shared   = map[timing.Device]*Service{}
+)
+
+// Shared returns the process-wide latency service for a device. Kernel
+// latencies are a pure function of the device geometry and the query,
+// so every simulator instance pricing against the same device can share
+// one memoized cache: a config-grid sweep then pays each cold
+// simulation once per process instead of once per grid point, and the
+// RWMutex hit path keeps concurrent sweep workers from serializing on
+// the shared cache.
+func Shared(dev timing.Device) *Service {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	s, ok := shared[dev]
+	if !ok {
+		s = New(dev)
+		shared[dev] = s
+	}
+	return s
+}
+
 // CacheMisses reports how many cold simulations ran.
 func (s *Service) CacheMisses() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.misses
 }
+
+// CacheLookups reports how many Price calls consulted the cache (hits
+// and misses alike).
+func (s *Service) CacheLookups() int64 { return s.lookups.Load() }
 
 // quantize rounds tokens up so at most 32 buckets exist per octave, bounding
 // both cache size and scaling error (< ~3%).
@@ -140,6 +176,37 @@ func quantize(tokens int) int {
 // rows, so the extrapolation is exact up to the fixed setup work.
 const maxAttnSimTokens = 1 << 16
 
+// Bucket returns the quantization bucket an attention token count is
+// priced from: the quantized (and simulation-capped) token count whose
+// cold simulation Price scales linearly to the exact count. Two token
+// counts share a bucket exactly when they are priced from the same
+// cached simulation — the invariant the serving engine's step-cost
+// memoization keys on. GEMV shapes are not quantized and have no bucket.
+func Bucket(tokens int) int {
+	if tokens >= maxAttnSimTokens {
+		return maxAttnSimTokens
+	}
+	q := quantize(tokens)
+	if q > maxAttnSimTokens {
+		q = maxAttnSimTokens
+	}
+	return q
+}
+
+// BucketEnd returns the largest token count sharing tokens' quantization
+// bucket — the event horizon after which a growing attention shape needs
+// a different cached simulation. Quantization rounds up to a multiple of
+// the octave step, so the bucket value itself is the boundary; past the
+// simulation cap every count scales from the capped simulation, making
+// the final bucket unbounded (math.MaxInt).
+func BucketEnd(tokens int) int {
+	b := Bucket(tokens)
+	if b >= maxAttnSimTokens {
+		return math.MaxInt
+	}
+	return b
+}
+
 // Price returns the latency of a kernel query.
 func (s *Service) Price(q Query) (Latency, error) {
 	if q.Tokens <= 0 || q.Dh <= 0 {
@@ -155,20 +222,25 @@ func (s *Service) Price(q Query) (Latency, error) {
 			q.Tokens = maxAttnSimTokens
 		}
 	}
-	s.mu.Lock()
+	s.lookups.Add(1)
+	s.mu.RLock()
 	lat, ok := s.cache[q]
+	s.mu.RUnlock()
 	if !ok {
-		s.mu.Unlock()
 		var err error
 		lat, err = s.simulate(q)
 		if err != nil {
 			return Latency{}, err
 		}
 		s.mu.Lock()
-		s.cache[q] = lat
-		s.misses++
+		if prior, dup := s.cache[q]; dup {
+			lat = prior // a racing goroutine cached the same shape first
+		} else {
+			s.cache[q] = lat
+			s.misses++
+		}
+		s.mu.Unlock()
 	}
-	s.mu.Unlock()
 	if q.Kernel != GEMV && exact != q.Tokens {
 		f := float64(exact) / float64(q.Tokens)
 		lat = scale(lat, f)

@@ -155,3 +155,62 @@ func TestKindStrings(t *testing.T) {
 		t.Error("sched names changed")
 	}
 }
+
+func TestBucketMatchesPriceQuantization(t *testing.T) {
+	s := New(timing.AiM16())
+	// Walking a token count through its bucket must not trigger new
+	// simulations; crossing BucketEnd must move to a new bucket.
+	for _, start := range []int{65, 100, 1000, 4096, 100000} {
+		end := BucketEnd(start)
+		if end < start {
+			t.Fatalf("BucketEnd(%d) = %d below the count itself", start, end)
+		}
+		if end == math.MaxInt {
+			continue // the unbounded final bucket at the simulation cap
+		}
+		if Bucket(end) != Bucket(start) {
+			t.Fatalf("BucketEnd(%d) = %d left the bucket", start, end)
+		}
+		if Bucket(end+1) == Bucket(start) {
+			t.Fatalf("bucket did not change past BucketEnd(%d) = %d", start, end)
+		}
+		if _, err := s.Price(Query{Kernel: QKT, Tokens: start, Dh: 128, Queries: 1, Sched: DCS}); err != nil {
+			t.Fatal(err)
+		}
+		misses := s.CacheMisses()
+		for tok := start; tok <= end && tok < start+256; tok++ {
+			if _, err := s.Price(Query{Kernel: QKT, Tokens: tok, Dh: 128, Queries: 1, Sched: DCS}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if s.CacheMisses() != misses {
+			t.Errorf("pricing within bucket [%d, %d] caused %d cold simulations",
+				start, end, s.CacheMisses()-misses)
+		}
+	}
+	// Small counts are their own buckets (quantization is exact there).
+	for n := 1; n <= 64; n++ {
+		if Bucket(n) != n || BucketEnd(n) != n {
+			t.Fatalf("Bucket(%d) = %d end %d, want exact", n, Bucket(n), BucketEnd(n))
+		}
+	}
+}
+
+func TestCacheLookupsCounted(t *testing.T) {
+	s := New(timing.AiM16())
+	if s.CacheLookups() != 0 {
+		t.Fatal("fresh service should have zero lookups")
+	}
+	q := Query{Kernel: SV, Tokens: 2048, Dh: 128, Queries: 1, Sched: DCS}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Price(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.CacheLookups(); got != 3 {
+		t.Errorf("3 Price calls counted %d lookups", got)
+	}
+	if s.CacheMisses() != 1 {
+		t.Errorf("repeat pricing missed %d times, want 1", s.CacheMisses())
+	}
+}

@@ -1,0 +1,59 @@
+// Package profiling wires the standard -cpuprofile/-memprofile flags
+// into the CLIs (pimphony-sim, pimphony-serve, pimphony-bench) so perf
+// work on the simulator hot paths can ship flame graphs: Start begins a
+// CPU profile and returns a stop function that finishes it and writes
+// the heap profile, for callers to defer around their run.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling per the flag values: cpuPath starts a CPU
+// profile immediately, memPath schedules a heap profile at stop time.
+// Empty paths disable the corresponding profile. The returned stop
+// function is idempotent — CLIs both defer it and invoke it on fatal
+// exits (log.Fatal skips defers) — and reports file-system errors to
+// stderr rather than failing the run, since a missing profile should
+// not discard results.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "profiling:", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "profiling:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "profiling:", err)
+			}
+		}
+	}, nil
+}

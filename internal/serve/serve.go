@@ -6,14 +6,20 @@
 // end-to-end latency at p50/p95/p99, plus goodput (decode tokens per
 // second from requests that met the SLO).
 //
-// The simulation is event-driven at iteration granularity: each replica
-// advances its own clock by the duration of its decode iterations, and
-// an arrival is routed only after every replica has simulated up to the
-// arrival time, so load-aware policies observe the queue state a real
-// load balancer would. Everything is deterministic — same arrival
-// schedule, same configuration, same report — which is what lets the
-// latency–throughput tables in CI be byte-identical at any sweep
-// parallelism.
+// The simulation is event-driven: each replica advances its own clock
+// by the duration of its decode iterations, and an arrival is routed
+// only after every replica has simulated up to the arrival time, so
+// load-aware policies observe the queue state a real load balancer
+// would. Between events a replica does not step one iteration at a
+// time — cluster.Engine.Leap fast-forwards a stable batch through its
+// analytically computed event horizon in one call, and independent
+// replicas advance concurrently through internal/sweep — but both
+// optimizations are exact: every per-token timestamp, and therefore
+// every report, is bit-identical to the naive single-stepped
+// sequential loop (Config.SingleStep pins this in tests). Everything
+// is deterministic — same arrival schedule, same configuration, same
+// report — which is what lets the latency–throughput tables in CI be
+// byte-identical at any sweep parallelism.
 //
 // Metric definitions (all per request, in seconds):
 //
@@ -37,6 +43,7 @@ import (
 	"sort"
 
 	"pimphony/internal/cluster"
+	"pimphony/internal/sweep"
 	"pimphony/internal/workload"
 )
 
@@ -80,6 +87,12 @@ type Config struct {
 	// request's tokens but does not occupy the decode engine, the
 	// disaggregation NeuPIMs and Hybe argue for.
 	IncludePrefill bool
+	// SingleStep forces the one-iteration-per-call engine path instead
+	// of multi-step fast-forward (cluster.Engine.Leap). Reports are
+	// identical either way — the fast-forward equivalence tests pin that
+	// — so the knob exists for those tests and for debugging; production
+	// runs leave it off and simulate the same traffic many times faster.
+	SingleStep bool
 }
 
 // Validate reports configuration errors.
@@ -212,6 +225,9 @@ type replica struct {
 	sys   *cluster.System
 	eng   *cluster.Engine
 	clock float64
+	// iterScratch backs apply's single-iteration view of a plain Step
+	// result, reused across steps.
+	iterScratch []float64
 }
 
 // sim is the in-flight simulation state.
@@ -221,36 +237,65 @@ type sim struct {
 	recs     map[int]*record
 }
 
-// step runs one decode iteration on a replica and stamps the resulting
-// events with the replica's clock.
-func (s *sim) step(ctx context.Context, r *replica) error {
-	res, err := r.eng.Step(ctx)
+// step advances a replica by one engine call — a single decode
+// iteration, or a multi-iteration leap bounded by t (the time the
+// replica is advancing toward) — and stamps the resulting events with
+// the replica's clock.
+func (s *sim) step(ctx context.Context, r *replica, t float64) error {
+	var res cluster.StepResult
+	var err error
+	if s.cfg.SingleStep {
+		res, err = r.eng.Step(ctx)
+	} else {
+		res, err = r.eng.Leap(ctx, r.clock, t)
+	}
 	if err != nil {
 		return err
 	}
 	if res.Batch == 0 {
 		return nil // idle; the caller advances the clock to the next event
 	}
-	end := r.clock + res.Seconds
-	for _, id := range res.Generated {
-		rec := s.recs[id]
-		rec.tokens++
-		if rec.first == 0 {
-			rec.first = end
+	s.apply(res, r)
+	return nil
+}
+
+// apply folds one engine result — single-iteration or an aggregated
+// leap — into the per-request records. Replaying IterSeconds keeps
+// every per-token timestamp identical to single stepping: the clock
+// accumulates iteration by iteration, and a request's first token is
+// stamped at the end of the iteration that produced it (its token count
+// reaching one — not the first==0 sentinel, which a first iteration
+// ending at simulated time exactly zero would leave unset for later
+// tokens to re-stamp).
+func (s *sim) apply(res cluster.StepResult, r *replica) {
+	iters := res.IterSeconds
+	if iters == nil {
+		iters = r.iterScratch[:0]
+		iters = append(iters, res.Seconds)
+		r.iterScratch = iters
+	}
+	end := r.clock
+	for _, d := range iters {
+		end += d
+		for _, id := range res.Generated {
+			rec := s.recs[id]
+			rec.tokens++
+			if rec.tokens == 1 {
+				rec.first = end
+			}
 		}
 	}
 	for _, q := range res.Completed {
 		s.recs[q.ID].done = end
 	}
 	r.clock = end
-	return nil
 }
 
 // advance simulates a replica up to time t (or through its current work
 // if it empties earlier); an idle replica's clock jumps to t.
 func (s *sim) advance(ctx context.Context, r *replica, t float64) error {
 	for r.clock < t && !r.eng.Idle() {
-		if err := s.step(ctx, r); err != nil {
+		if err := s.step(ctx, r, t); err != nil {
 			return err
 		}
 	}
@@ -258,6 +303,21 @@ func (s *sim) advance(ctx context.Context, r *replica, t float64) error {
 		r.clock = t
 	}
 	return nil
+}
+
+// advanceAll advances every replica up to time t. Replicas share no
+// state, and arrivals are routed only after every replica has reached
+// t, so advancing them concurrently through the sweep engine leaves
+// every load snapshot — and therefore every table — byte-identical to
+// the sequential loop at any parallelism.
+func (s *sim) advanceAll(ctx context.Context, t float64) error {
+	if len(s.replicas) == 1 {
+		return s.advance(ctx, s.replicas[0], t)
+	}
+	_, err := sweep.Run(ctx, s.replicas, func(ctx context.Context, r *replica) (struct{}, error) {
+		return struct{}{}, s.advance(ctx, r, t)
+	})
+	return err
 }
 
 // Run serves a timed arrival schedule to completion and reports the SLO
@@ -291,10 +351,8 @@ func Run(ctx context.Context, cfg Config, arrivals []workload.Arrival) (*Report,
 		if _, dup := s.recs[a.Req.ID]; dup {
 			return nil, fmt.Errorf("serve: duplicate request ID %d in schedule", a.Req.ID)
 		}
-		for _, r := range s.replicas {
-			if err := s.advance(ctx, r, a.At); err != nil {
-				return nil, err
-			}
+		if err := s.advanceAll(ctx, a.At); err != nil {
+			return nil, err
 		}
 		loads := make([]Load, len(s.replicas))
 		for j, r := range s.replicas {
@@ -319,10 +377,8 @@ func Run(ctx context.Context, cfg Config, arrivals []workload.Arrival) (*Report,
 		}
 	}
 	// Drain every replica.
-	for _, r := range s.replicas {
-		if err := s.advance(ctx, r, math.Inf(1)); err != nil {
-			return nil, err
-		}
+	if err := s.advanceAll(ctx, math.Inf(1)); err != nil {
+		return nil, err
 	}
 	return s.report(arrivals)
 }

@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"pimphony/internal/workload"
+)
+
+// BenchmarkServeRun measures one full online serving simulation — 48
+// QMSum-sized requests at 100 req/s over two replicas — through the
+// multi-step fast-forward path and the naive single-step loop, so the
+// speedup the event-horizon work buys stays visible in bench output.
+func BenchmarkServeRun(b *testing.B) {
+	gen := workload.NewGenerator(workload.QMSum(), 42)
+	gen.DecodeLen = 32
+	arr, err := workload.PoissonArrivals(gen, 100, 8, 48, 43)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name   string
+		single bool
+	}{
+		{"fast-forward", false},
+		{"single-step", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var tokens int
+			for i := 0; i < b.N; i++ {
+				rep, err := Run(context.Background(), Config{
+					System:     testSystem(),
+					Replicas:   2,
+					Policy:     RoundRobin(),
+					SLO:        SLO{TTFT: 0.1, TBT: 0.025},
+					SingleStep: mode.single,
+				}, arr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tokens += rep.Requests * 32
+			}
+			b.ReportMetric(float64(tokens)/b.Elapsed().Seconds(), "tokens/s")
+		})
+	}
+}

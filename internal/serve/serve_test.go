@@ -8,6 +8,7 @@ import (
 
 	"pimphony/internal/cluster"
 	"pimphony/internal/model"
+	"pimphony/internal/sweep"
 	"pimphony/internal/timing"
 	"pimphony/internal/workload"
 )
@@ -359,5 +360,115 @@ func TestServeGPUAndDIMMBackends(t *testing.T) {
 		if rep.Capacity.PoolBytes <= 0 || rep.Capacity.PeakLiveBytes <= 0 {
 			t.Errorf("%s: missing capacity accounting %+v", sys.Name, rep.Capacity)
 		}
+	}
+}
+
+// TestFastForwardEquivalence is the end-to-end fast-forward contract:
+// every backend x allocator combination — including a preemption-heavy
+// DPA configuration and the GPU's paged pool — must produce an
+// identical Report through the multi-step leap path and the naive
+// one-iteration loop (Config.SingleStep), at sequential and parallel
+// replica advancement alike.
+func TestFastForwardEquivalence(t *testing.T) {
+	pim := testSystem()
+	static := testSystem()
+	static.Tech.DPA = false
+	tight := testSystem()
+	tight.KVBudgetBytes = 4106 << 20 // DPA over-admission preempts mid-decode
+	xpu := testSystem()
+	xpu.Backend = cluster.XPUPIM
+	gpu := cluster.Config{Name: "ff-gpu", Backend: cluster.GPUSystem,
+		Model: model.LLM7B32K(), GPUs: 2, DecodeWindow: 4}
+	dimm := cluster.Config{Name: "ff-dimm", Backend: cluster.DIMMPIM,
+		Dev: timing.DDR5DIMM(), Modules: 8, TP: 8, PP: 1,
+		Model: model.LLM7B32K(), Tech: cluster.PIMphony(), DecodeWindow: 4}
+
+	long := testArrivals(t, 16, 24)
+	tightArr := func() []workload.Arrival {
+		gen := workload.Uniform(4096, 5)
+		gen.DecodeLen = 16
+		arr, err := workload.PoissonArrivals(gen, 1000, 2, 8, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return arr
+	}()
+	cases := []struct {
+		name       string
+		sys        cluster.Config
+		replicas   int
+		arr        []workload.Arrival
+		wantEvents bool // the scenario must actually preempt
+	}{
+		{"pim-dpa", pim, 2, long, false},
+		{"pim-static", static, 2, long, false},
+		{"pim-dpa-preempting", tight, 1, tightArr, true},
+		{"xpu-pim", xpu, 1, long, false},
+		{"gpu-paged", gpu, 1, long, false},
+		{"dimm-pim", dimm, 1, long, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			mk := func(single bool) *Report {
+				return run(t, Config{System: c.sys, Replicas: c.replicas,
+					Policy: LeastOutstandingTokens(), SLO: SLO{TTFT: 0.1, TBT: 0.025},
+					SingleStep: single}, c.arr)
+			}
+			naive, fast := mk(true), mk(false)
+			if !reflect.DeepEqual(naive, fast) {
+				t.Errorf("reports diverged:\nsingle-step %+v\nfast-forward %+v", naive, fast)
+			}
+			if c.wantEvents && fast.Capacity.Preemptions == 0 {
+				t.Error("scenario did not exercise preemption")
+			}
+			// The fast path must be identical under parallel replica
+			// advancement too.
+			prev := sweep.SetDefault(8)
+			par := mk(false)
+			sweep.SetDefault(prev)
+			if !reflect.DeepEqual(fast, par) {
+				t.Errorf("parallel replica advancement diverged:\nsequential %+v\nparallel %+v", fast, par)
+			}
+		})
+	}
+}
+
+// TestApplyStampsFirstTokenByCount is the regression test for the
+// first-token sentinel: a first iteration ending at simulated time
+// exactly zero must still stamp the request's first-token time — the
+// token count, not the zero-value of record.first, decides.
+func TestApplyStampsFirstTokenByCount(t *testing.T) {
+	s := &sim{recs: map[int]*record{7: {}}}
+	r := &replica{} // clock 0
+	// A zero-duration iteration generates token 1 at t=0.
+	s.apply(cluster.StepResult{Seconds: 0, Batch: 1, Generated: []int{7}}, r)
+	// A later iteration generates token 2 at t=5 — it must NOT re-stamp
+	// the first-token time.
+	s.apply(cluster.StepResult{Seconds: 5, Batch: 1, Generated: []int{7}}, r)
+	rec := s.recs[7]
+	if rec.tokens != 2 {
+		t.Fatalf("counted %d tokens, want 2", rec.tokens)
+	}
+	if rec.first != 0 {
+		t.Errorf("first-token time re-stamped to %g, want 0 (the end of the iteration that produced token 1)", rec.first)
+	}
+	if r.clock != 5 {
+		t.Errorf("clock %g, want 5", r.clock)
+	}
+	// Multi-iteration results stamp the first token at the end of the
+	// iteration that produced it, not the leap's end.
+	s2 := &sim{recs: map[int]*record{1: {}}}
+	r2 := &replica{clock: 1}
+	s2.apply(cluster.StepResult{Seconds: 3, Iterations: 3, IterSeconds: []float64{1, 1, 1},
+		Batch: 1, Generated: []int{1}, Completed: []workload.Request{{ID: 1}}}, r2)
+	rec = s2.recs[1]
+	if rec.tokens != 3 {
+		t.Fatalf("leap counted %d tokens, want 3", rec.tokens)
+	}
+	if rec.first != 2 {
+		t.Errorf("leap first-token time %g, want 2 (end of iteration 1)", rec.first)
+	}
+	if rec.done != 4 || r2.clock != 4 {
+		t.Errorf("leap completion %g / clock %g, want 4 / 4", rec.done, r2.clock)
 	}
 }
