@@ -6,7 +6,7 @@ GO ?= go
 # Statement-coverage floor for the system-backend seam (make cover / CI).
 BACKEND_COVER_MIN ?= 80
 
-.PHONY: all fmt fmt-check vet staticcheck build examples test test-short bench bench-check bench-baseline cover ci
+.PHONY: all fmt fmt-check vet staticcheck build examples test test-short fleet bench bench-check bench-baseline cover ci
 
 all: build
 
@@ -49,6 +49,12 @@ test:
 # The CI race lane: scaled-down grids, race detector on.
 test-short:
 	$(GO) test -race -short ./...
+
+# Render the fleet study on the full grids: homogeneous PIM-only and
+# GPU fleets vs the disaggregated xPU-prefill/PIM-decode split at an
+# equal aggregate KV budget (the README's fleet table).
+fleet:
+	$(GO) run ./cmd/pimphony-bench -run fleet
 
 # One iteration of every paper-figure benchmark on the short grids.
 bench:

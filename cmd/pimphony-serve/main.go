@@ -19,6 +19,12 @@
 // baseline (admitted against its paged pool) and the DIMM-PIM system;
 // -list enumerates backends and experiments.
 //
+// The -fleet flag replaces the homogeneous replica set with a
+// heterogeneous fleet under the global scheduler: comma-separated
+// backend:role:count[:kv=GiB][:alloc=static|dpa] specs (roles prefill,
+// decode, unified), routed by a -placement policy, with KV handoffs
+// and migrations priced over the -ic-gbps/-ic-lat-us interconnect.
+//
 // Examples:
 //
 //	pimphony-serve -list
@@ -28,6 +34,8 @@
 //	pimphony-serve -rate 100 -policy session -sessions 4 -slo-ttft 50
 //	pimphony-serve -capacity -kv-budget 32 -trace heavy:2048-30000 -rate 32,96
 //	pimphony-serve -alloc static -kv-budget 32 -turns 3 -think 0.2
+//	pimphony-serve -fleet neupims:prefill:1,cent:decode:3:kv=32 -trace heavy:1024-24000 -rate 2,4,8 -slo-ttft 1000
+//	pimphony-serve -fleet cent:unified:4:kv=24 -placement kv-headroom,least-tokens-fit -rate 4
 package main
 
 import (
@@ -47,15 +55,22 @@ import (
 	"pimphony/internal/profiling"
 	"pimphony/internal/serve"
 	"pimphony/internal/sweep"
+	"pimphony/internal/timing"
 	"pimphony/internal/workload"
 )
 
 // printCatalog renders the shared backend/experiment catalog with the
-// serving-specific policy list between the sections.
+// serving-specific policy lists between the sections.
 func printCatalog() {
 	experiments.Catalog(os.Stdout, func(w io.Writer) {
 		fmt.Fprintln(w, "\nload-balancing policies (-policy):")
 		fmt.Fprintf(w, "  %s\n", strings.Join(serve.PolicyNames(), ", "))
+		fmt.Fprintln(w, "\nfleet placement policies (-placement, with -fleet):")
+		fmt.Fprintf(w, "  %s\n", strings.Join(serve.PlacementNames(), ", "))
+		fmt.Fprintln(w, "\nfleet replica roles (-fleet backend:role:count[:kv=GiB][:alloc=static|dpa]):")
+		fmt.Fprintln(w, "  prefill — prompt processing only; hands KV to a decode replica over the interconnect")
+		fmt.Fprintln(w, "  decode  — continuous-batching decode only; receives prefilled KV")
+		fmt.Fprintln(w, "  unified — prefills and decodes locally (no handoff transfer)")
 	})
 }
 
@@ -100,6 +115,13 @@ func main() {
 	alloc := flag.String("alloc", "", "KV allocation scheme: static or dpa (default dpa; comma-separated or empty sweeps static,dpa in -capacity mode)")
 	kvBudget := flag.Float64("kv-budget", 0, "per-replica KV capacity budget in GiB (0 = the full pool left after weights)")
 	capacity := flag.Bool("capacity", false, "render the Static-vs-DPA capacity gap table (admission/preemption/pool peaks) instead of the latency curve")
+	fleet := flag.String("fleet", "", "heterogeneous fleet specs, comma-separated backend:role:count[:kv=GiB][:alloc=static|dpa]; replaces -system/-replicas/-policy with the global scheduler")
+	placements := flag.String("placement", "kv-headroom",
+		fmt.Sprintf("fleet placement policy(ies), comma-separated sweeps; known: %s", strings.Join(serve.PlacementNames(), ", ")))
+	migrate := flag.Bool("migrate", true, "fleet mode: migrate preempted KV to a replica with headroom when the transfer is cheaper than recompute")
+	steal := flag.Bool("steal", true, "fleet mode: idle replicas steal queued requests from overloaded ones")
+	icGbps := flag.Float64("ic-gbps", 64, "fleet interconnect bandwidth in GiB/s (0 disables transfers: unified fleets only)")
+	icLatUs := flag.Float64("ic-lat-us", 2, "fleet interconnect latency in microseconds")
 	turns := flag.Int("turns", 1, "turns per conversation; >1 switches to multi-turn sessions (-sessions conversations whose contexts re-extend per turn; -rate becomes the session-start rate)")
 	think := flag.Float64("think", 0.2, "mean think time in seconds between turns of a session (multi-turn only)")
 	seed := flag.Int64("seed", 42, "RNG seed for request sizes and arrival times")
@@ -201,6 +223,44 @@ func main() {
 		fmt.Print(t.String())
 	}
 
+	if *fleet != "" {
+		if *capacity {
+			fatal("-fleet and -capacity are mutually exclusive")
+		}
+		if *prefill {
+			fatal("-prefill is implicit in fleet mode: every role prices its own prefill, and prefill replicas price the KV handoff too")
+		}
+		policySet := false
+		flag.Visit(func(f *flag.Flag) { policySet = policySet || f.Name == "policy" || f.Name == "replicas" })
+		if policySet {
+			fatal("-policy/-replicas do not apply in fleet mode; the fleet shape comes from -fleet and routing from -placement")
+		}
+		defBudget := int64(*kvBudget * float64(1<<30))
+		specs, err := parseFleetSpecs(*fleet, m, defBudget)
+		if err != nil {
+			fatal(err)
+		}
+		ic := timing.Interconnect{BytesPerSecond: *icGbps * float64(1<<30), LatencySeconds: *icLatUs * 1e-6}
+		var pts []serve.FleetPoint
+		for _, pl := range strings.Split(*placements, ",") {
+			pl = strings.TrimSpace(pl)
+			for _, rate := range rateList {
+				pts = append(pts, serve.FleetPoint{
+					Name: pl, Specs: specs, Rate: rate, PlacementName: pl,
+					Cfg: serve.Config{Interconnect: ic, Migrate: *migrate, Steal: *steal},
+				})
+			}
+		}
+		title := fmt.Sprintf("fleet %s / %s / %s — %s, decode %d, ic %ggbps+%gus, SLO ttft<=%gms tbt<=%gms (latencies in ms)",
+			strings.TrimSpace(*fleet), m.Name, strings.TrimSpace(*traceName), workDesc, *decode, *icGbps, *icLatUs, *sloTTFT, *sloTBT)
+		t, err := serve.FleetTable(context.Background(), title, pts, slo, mkArrivals)
+		if err != nil {
+			fatal(err)
+		}
+		emit(t)
+		return
+	}
+
 	if *capacity {
 		if *prefill {
 			fatal("-prefill is not supported in -capacity mode (the capacity table reports decode-side latencies only)")
@@ -279,4 +339,65 @@ func budgetDesc(b int64) string {
 		return "full pool"
 	}
 	return fmt.Sprintf("%.3g GiB/replica", float64(b)/float64(1<<30))
+}
+
+// parseFleetSpecs parses the -fleet grammar: comma-separated
+// backend:role:count specs with optional :kv=GiB and :alloc=static|dpa
+// suffixes in any order. defBudget (from -kv-budget, 0 = full pool)
+// applies to specs without an explicit kv= override.
+func parseFleetSpecs(s string, m model.Config, defBudget int64) ([]serve.ReplicaSpec, error) {
+	var specs []serve.ReplicaSpec
+	for _, raw := range strings.Split(s, ",") {
+		parts := strings.Split(strings.TrimSpace(raw), ":")
+		if len(parts) < 3 {
+			return nil, fmt.Errorf("fleet spec %q: want backend:role:count[:kv=GiB][:alloc=static|dpa]", raw)
+		}
+		preset, err := core.PresetByFlag(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("fleet spec %q: %w", raw, err)
+		}
+		var role serve.Role
+		switch strings.ToLower(strings.TrimSpace(parts[1])) {
+		case "prefill", "pre":
+			role = serve.RolePrefill
+		case "decode", "dec":
+			role = serve.RoleDecode
+		case "unified", "uni":
+			role = serve.RoleUnified
+		default:
+			return nil, fmt.Errorf("fleet spec %q: unknown role %q (prefill, decode, unified)", raw, parts[1])
+		}
+		count, err := strconv.Atoi(strings.TrimSpace(parts[2]))
+		if err != nil || count <= 0 {
+			return nil, fmt.Errorf("fleet spec %q: bad replica count %q", raw, parts[2])
+		}
+		cfg := preset.Make(m, core.PIMphony())
+		if defBudget > 0 {
+			cfg.KVBudgetBytes = defBudget
+		}
+		for _, opt := range parts[3:] {
+			opt = strings.TrimSpace(opt)
+			switch {
+			case strings.HasPrefix(opt, "kv="):
+				gib, err := strconv.ParseFloat(opt[len("kv="):], 64)
+				if err != nil || gib <= 0 {
+					return nil, fmt.Errorf("fleet spec %q: bad KV budget %q", raw, opt)
+				}
+				cfg.KVBudgetBytes = int64(gib * float64(1<<30))
+			case strings.HasPrefix(opt, "alloc="):
+				switch opt[len("alloc="):] {
+				case "static":
+					cfg.Tech.DPA = false
+				case "dpa":
+					cfg.Tech.DPA = true
+				default:
+					return nil, fmt.Errorf("fleet spec %q: unknown allocator %q (static, dpa)", raw, opt)
+				}
+			default:
+				return nil, fmt.Errorf("fleet spec %q: unknown option %q (kv=GiB, alloc=static|dpa)", raw, opt)
+			}
+		}
+		specs = append(specs, serve.ReplicaSpec{System: cfg, Count: count, Role: role})
+	}
+	return specs, nil
 }

@@ -35,7 +35,7 @@ const Schema = 1
 // DefaultIDs are the gated experiments: the serving-path studies plus
 // the cross-backend comparison, whose tables CI pins (the batch figures
 // are covered by the bench smoke).
-func DefaultIDs() []string { return []string{"capacity", "serve", "systems"} }
+func DefaultIDs() []string { return []string{"capacity", "fleet", "serve", "systems"} }
 
 // Entry is one experiment's measurement.
 type Entry struct {
@@ -53,6 +53,14 @@ type Entry struct {
 	// does not compare it across hosts); the README's before/after
 	// table and perf PRs read it off this file.
 	SimRate float64 `json:"sim_rate"`
+	// SimRateFloor is the lowest SimRate the gate accepts for this
+	// experiment: a coarse absolute backstop (baseline SimRate / 20)
+	// that catches catastrophic slowdowns — a scheduler accidentally
+	// degenerating to per-iteration stepping, say — while staying far
+	// enough below the baseline that ordinary host-speed variance never
+	// trips it. Score remains the fine-grained, machine-normalised
+	// regression check.
+	SimRateFloor float64 `json:"sim_rate_floor,omitempty"`
 }
 
 // File is the on-disk gate format.
@@ -133,8 +141,9 @@ func Collect(ids []string, runs int) (*File, error) {
 			}
 			hash = h
 		}
+		rate := float64(bestToks) / (float64(best) / 1e9)
 		f.Experiments[id] = Entry{Hash: hash, Ns: best, Score: float64(best) / float64(f.CalibNs),
-			SimRate: float64(bestToks) / (float64(best) / 1e9)}
+			SimRate: rate, SimRateFloor: rate / 20}
 	}
 	return f, nil
 }
@@ -198,6 +207,11 @@ func Compare(baseline, current *File, tol float64) []string {
 			problems = append(problems,
 				fmt.Sprintf("%s: runtime regressed %.0f%% (score %.3f -> %.3f, tolerance %.0f%%)",
 					id, 100*(cur.Score/base.Score-1), base.Score, cur.Score, 100*tol))
+		}
+		if base.SimRateFloor > 0 && cur.SimRate < base.SimRateFloor {
+			problems = append(problems,
+				fmt.Sprintf("%s: simulator throughput collapsed (sim_rate %.0f tok/s below floor %.0f)",
+					id, cur.SimRate, base.SimRateFloor))
 		}
 	}
 	return problems

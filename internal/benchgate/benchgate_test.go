@@ -61,6 +61,27 @@ func TestCompareRules(t *testing.T) {
 		t.Fatal("grid-mode mismatch not flagged")
 	}
 
+	// The sim-rate floor is an absolute backstop: a current rate below
+	// the baselined floor fails even when Score stays inside tolerance
+	// (Score normalises away machine speed, the floor catches the
+	// simulator itself collapsing).
+	floorBase := gateFile(true, map[string]Entry{
+		"fleet": {Hash: "fff", Score: 1.0, SimRate: 1e6, SimRateFloor: 5e4},
+	})
+	slowSim := gateFile(true, map[string]Entry{
+		"fleet": {Hash: "fff", Score: 1.0, SimRate: 4e4},
+	})
+	problems = Compare(floorBase, slowSim, 0.20)
+	if len(problems) != 1 || !strings.Contains(problems[0], "throughput collapsed") {
+		t.Fatalf("sim-rate floor violation not flagged: %v", problems)
+	}
+	fastSim := gateFile(true, map[string]Entry{
+		"fleet": {Hash: "fff", Score: 1.0, SimRate: 9e5},
+	})
+	if problems := Compare(floorBase, fastSim, 0.20); len(problems) != 0 {
+		t.Fatalf("healthy sim rate flagged: %v", problems)
+	}
+
 	// Problems come back sorted by experiment ID (deterministic CI logs).
 	both := gateFile(true, map[string]Entry{
 		"serve":    entry("zzz", 9.0),

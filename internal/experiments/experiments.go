@@ -108,6 +108,7 @@ var registry = map[string]entry{
 	// Online serving studies beyond the paper's batch evaluation.
 	"serve":    {ServeCurve, "online latency-throughput curve under TTFT/TBT SLOs"},
 	"capacity": {CapacityGap, "online Static-vs-DPA capacity gap at an equal KV budget"},
+	"fleet":    {FleetCompare, "homogeneous vs disaggregated prefill/decode fleets at equal KV budget"},
 
 	// Design-choice ablations beyond the paper's figures.
 	"abl-ismac":   {AblationIsMAC, "MAC-command issue-interval sensitivity"},

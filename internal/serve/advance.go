@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"context"
+
+	"pimphony/internal/cluster"
+	"pimphony/internal/workload"
+)
+
+// record tracks one request's lifecycle timestamps.
+type record struct {
+	req     workload.Request
+	arrival float64
+	first   float64 // end of the iteration that produced token 1
+	done    float64 // end of the iteration that produced the last token
+	tokens  int     // tokens actually generated (Decode, unless truncated at T_max)
+	replica int
+	prefill float64
+}
+
+// replica is one decode engine plus its private clock.
+type replica struct {
+	sys   *cluster.System
+	eng   *cluster.Engine
+	clock float64
+	// iterScratch backs apply's single-iteration view of a plain Step
+	// result, reused across steps.
+	iterScratch []float64
+}
+
+// tracker owns the per-request records and the replica-advancement
+// machinery — how an engine is driven and how its event stream becomes
+// per-token timestamps. It is the half of the simulator that does not
+// know about routing: the load-balanced simulator (sim) and the fleet
+// simulator (fleetSim) both embed it, so placement, handoff and
+// migration policies can differ while the advancement semantics — and
+// therefore every timestamp — stay shared and byte-identical.
+type tracker struct {
+	recs       map[int]*record
+	singleStep bool
+}
+
+// step advances a replica by one engine call — a single decode
+// iteration, or a multi-iteration leap bounded by t (the time the
+// replica is advancing toward) — and stamps the resulting events with
+// the replica's clock. The engine result is returned so callers that
+// react to per-step events (the fleet scheduler's migration decisions)
+// can inspect it; the load balancer ignores it.
+func (tk *tracker) step(ctx context.Context, r *replica, t float64) (cluster.StepResult, error) {
+	var res cluster.StepResult
+	var err error
+	if tk.singleStep {
+		res, err = r.eng.Step(ctx)
+	} else {
+		res, err = r.eng.Leap(ctx, r.clock, t)
+	}
+	if err != nil {
+		return res, err
+	}
+	if res.Batch == 0 {
+		return res, nil // idle; the caller advances the clock to the next event
+	}
+	tk.apply(res, r)
+	return res, nil
+}
+
+// apply folds one engine result — single-iteration or an aggregated
+// leap — into the per-request records. Replaying IterSeconds keeps
+// every per-token timestamp identical to single stepping: the clock
+// accumulates iteration by iteration, and a request's first token is
+// stamped at the end of the iteration that produced it (its token count
+// reaching one — not the first==0 sentinel, which a first iteration
+// ending at simulated time exactly zero would leave unset for later
+// tokens to re-stamp).
+func (tk *tracker) apply(res cluster.StepResult, r *replica) {
+	iters := res.IterSeconds
+	if iters == nil {
+		iters = r.iterScratch[:0]
+		iters = append(iters, res.Seconds)
+		r.iterScratch = iters
+	}
+	end := r.clock
+	for _, d := range iters {
+		end += d
+		for _, id := range res.Generated {
+			rec := tk.recs[id]
+			rec.tokens++
+			if rec.tokens == 1 {
+				rec.first = end
+			}
+		}
+	}
+	for _, q := range res.Completed {
+		tk.recs[q.ID].done = end
+	}
+	r.clock = end
+}
+
+// advance simulates a replica up to time t (or through its current work
+// if it empties earlier); an idle replica's clock jumps to t.
+func (tk *tracker) advance(ctx context.Context, r *replica, t float64) error {
+	for r.clock < t && !r.eng.Idle() {
+		if _, err := tk.step(ctx, r, t); err != nil {
+			return err
+		}
+	}
+	if r.eng.Idle() && r.clock < t {
+		r.clock = t
+	}
+	return nil
+}

@@ -1,0 +1,700 @@
+// Fleet mode: a heterogeneous pool of replicas under one global
+// scheduler, instead of N identical replicas behind a load balancer.
+//
+// A fleet is described by []ReplicaSpec — each spec is its own
+// cluster.Config (backend, allocator technique, KV budget) times a
+// replica count, tagged with a Role. Unified replicas prefill and
+// decode locally, like the classic path. A disaggregated fleet splits
+// the phases: RolePrefill replicas run prompt prefills only (they are
+// dense-engine servers, not decode engines), and every prefilled
+// request is handed off to a RoleDecode replica with its prompt KV
+// moving over Config.Interconnect — the PIM-side disaggregation the
+// paper's hybrid systems argue for, with the transfer hop explicitly
+// priced (bytes = live KV footprint, seconds = latency + bytes/BW).
+//
+// The global scheduler owns three decisions the per-replica engines
+// cannot make:
+//
+//   - Cross-replica admission: Placement picks a decode replica against
+//     fleet-wide KV headroom; a request fitting nowhere waits in a
+//     global FIFO instead of being committed to a replica's queue.
+//   - KV migration: when a replica preempts a request (DPA pool
+//     exhaustion), the scheduler compares moving the live KV over the
+//     interconnect against the recompute its re-admission would charge,
+//     and migrates to the roomiest other replica when the transfer is
+//     cheaper (reusing the engine's requeue/resume machinery).
+//   - Queue stealing: an idle decode replica takes a queued
+//     zero-progress request from the most backlogged replica, paying
+//     the prompt-KV transfer.
+//
+// The simulation is the same event-driven discipline as the classic
+// path: replicas advance their own clocks via the tracker, and a global
+// event (arrival, handoff completion, migration/steal landing) is
+// dispatched only once every busy replica has simulated up to it, with
+// Engine.SetHorizon bounding how far one leap can overshoot. Everything
+// is deterministic, and the fleet loop is internally sequential —
+// tables over fleets sweep across grid points, not inside one run — so
+// fleet tables are byte-identical at any sweep parallelism.
+package serve
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"math"
+
+	"pimphony/internal/cluster"
+	"pimphony/internal/timing"
+	"pimphony/internal/workload"
+)
+
+// fleetLeapHorizon is the default Engine.SetHorizon clamp for fleet
+// replicas: long enough to amortize leap pricing, short enough that a
+// replica cannot run far past a migration or handoff landing on it.
+const fleetLeapHorizon = 64
+
+// Role assigns a fleet replica to a phase of the request lifecycle.
+type Role int
+
+const (
+	// RoleUnified replicas prefill and decode locally (the classic
+	// colocated serving shape).
+	RoleUnified Role = iota
+	// RolePrefill replicas run prompt prefills only; every request they
+	// finish is handed off to a decode replica over the interconnect.
+	RolePrefill
+	// RoleDecode replicas decode only; their prompts were prefilled
+	// elsewhere.
+	RoleDecode
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleUnified:
+		return "unified"
+	case RolePrefill:
+		return "prefill"
+	case RoleDecode:
+		return "decode"
+	default:
+		return fmt.Sprintf("role(%d)", int(r))
+	}
+}
+
+// ReplicaSpec is one homogeneous slice of a fleet: Count replicas built
+// from System, serving as Role.
+type ReplicaSpec struct {
+	System cluster.Config
+	Count  int
+	Role   Role
+}
+
+// validateFleet checks the fleet half of a Config.
+func (c *Config) validateFleet() error {
+	decode, prefill := 0, 0
+	for i, spec := range c.Fleet {
+		if spec.Count <= 0 {
+			return fmt.Errorf("serve: fleet spec %d: Count must be positive, got %d", i, spec.Count)
+		}
+		switch spec.Role {
+		case RoleUnified, RoleDecode:
+			decode += spec.Count
+		case RolePrefill:
+			prefill += spec.Count
+		default:
+			return fmt.Errorf("serve: fleet spec %d: unknown role %d", i, int(spec.Role))
+		}
+	}
+	if decode == 0 {
+		return fmt.Errorf("serve: fleet has no decode-capable replica (every spec is RolePrefill)")
+	}
+	if prefill > 0 && !c.Interconnect.Usable() {
+		return fmt.Errorf("serve: disaggregated fleet (RolePrefill replicas) needs a usable Interconnect to hand KV off")
+	}
+	if c.LeapHorizon < 0 {
+		return fmt.Errorf("serve: LeapHorizon must be non-negative, got %d", c.LeapHorizon)
+	}
+	return nil
+}
+
+// FleetStats is the fleet-mode half of a Report: the shape of the
+// fleet, the prefill work, and every explicitly priced KV movement the
+// global scheduler chose.
+type FleetStats struct {
+	// PrefillReplicas / DecodeReplicas describe the fleet shape (unified
+	// replicas count as decode replicas; their colocated prefill engines
+	// are not separate replicas).
+	PrefillReplicas int
+	DecodeReplicas  int
+	// PrefillSeconds is total prompt-processing busy time across the
+	// fleet's prefill engines (dedicated and colocated).
+	PrefillSeconds float64
+	// Handoffs counts prefill→decode transfers in a disaggregated fleet.
+	Handoffs int
+	// Migrations counts preempted requests whose live KV the scheduler
+	// moved to another replica instead of letting re-admission recompute
+	// it; Steals counts queued requests pulled by idle replicas.
+	Migrations int
+	Steals     int
+	// Held counts requests that waited in the global queue because no
+	// replica had KV headroom at their decision point.
+	Held int
+	// TransferBytes / TransferSeconds total every KV movement over the
+	// interconnect (handoffs, migrations, steals).
+	TransferBytes   int64
+	TransferSeconds float64
+	// JoulesPerToken is decode energy per generated token across the
+	// fleet (internal/energy; zero for backends without an energy
+	// model).
+	JoulesPerToken float64
+}
+
+// Fleet event kinds, in dispatch-priority order for equal timestamps
+// (ties break by push sequence, so FIFO within a kind).
+const (
+	evArrive = iota
+	// evHandoff: a prompt prefill finished and (for disaggregated
+	// fleets) its KV landed; the request is ready to decode.
+	evHandoff
+	// evResume: a migrated or stolen request's KV landed on its
+	// destination replica.
+	evResume
+)
+
+// fleetEvent is one scheduled global event.
+type fleetEvent struct {
+	at   float64
+	seq  int // push order; breaks timestamp ties deterministically
+	kind int
+	rec  *record
+	gen  int // evResume: tokens already generated (migration progress)
+	dst  int // target decoder index; -1 = placement decides at dispatch
+}
+
+// eventQueue is a min-heap on (at, seq).
+type eventQueue []*fleetEvent
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*fleetEvent)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// prefillServer is a dense prompt-processing engine with a FIFO busy
+// window: requests serialize on it, each charged the system's
+// PrefillSeconds.
+type prefillServer struct {
+	sys  *cluster.System
+	free float64 // time the server next becomes available
+	busy float64 // total busy seconds
+	reqs int
+	spec int
+}
+
+// serve schedules one prompt starting no earlier than at, returning the
+// completion time.
+func (p *prefillServer) serve(at float64, contextTokens int) float64 {
+	start := at
+	if p.free > start {
+		start = p.free
+	}
+	dur := p.sys.PrefillSeconds(contextTokens)
+	p.free = start + dur
+	p.busy += dur
+	p.reqs++
+	return p.free
+}
+
+// fleetReplica is one decode-capable fleet replica: the shared
+// advancement replica plus its fleet role and, for unified replicas,
+// the colocated prefill engine.
+type fleetReplica struct {
+	replica
+	role Role
+	spec int
+	pre  *prefillServer // non-nil only for RoleUnified
+}
+
+// heldReq is one entry in the global queue: a request no replica could
+// admit at its decision point.
+type heldReq struct {
+	rec *record
+	// needsPrefill: the request has not been prefilled yet (unified
+	// fleets place before prefilling, so a held request still owes its
+	// prompt pass once placed).
+	needsPrefill bool
+}
+
+// fleetSim drives one fleet simulation.
+type fleetSim struct {
+	tracker
+	cfg       Config
+	ic        timing.Interconnect
+	placement Placement
+	decoders  []*fleetReplica
+	prefills  []*prefillServer
+	events    eventQueue
+	seq       int
+	held      []heldReq
+	// incoming counts KV transfers in flight toward each decoder, so
+	// stealing never targets a replica that already has work landing.
+	incoming []int
+	stats    FleetStats
+	bpt      int64 // KV bytes per token (uniform across the fleet)
+	// clock is the scheduler's notion of now: the latest dispatched
+	// event time, raised during drain to the slowest busy replica.
+	clock float64
+}
+
+func newFleetSim(cfg Config, n int) (*fleetSim, error) {
+	fs := &fleetSim{
+		tracker:   tracker{recs: make(map[int]*record, n), singleStep: cfg.SingleStep},
+		cfg:       cfg,
+		ic:        cfg.Interconnect,
+		placement: cfg.Placement,
+	}
+	if fs.placement == nil {
+		fs.placement = KVHeadroom()
+	}
+	horizon := cfg.LeapHorizon
+	if horizon == 0 {
+		horizon = fleetLeapHorizon
+	}
+	bpt := int64(-1)
+	for si, spec := range cfg.Fleet {
+		if b := spec.System.Model.KVBytesPerToken(); bpt < 0 {
+			bpt = b
+		} else if b != bpt {
+			return nil, fmt.Errorf("serve: fleet spec %d: KV bytes/token %d differs from %d; KV is not portable across the fleet", si, b, bpt)
+		}
+		for c := 0; c < spec.Count; c++ {
+			sys, err := cluster.New(spec.System)
+			if err != nil {
+				return nil, err
+			}
+			if spec.Role == RolePrefill {
+				fs.prefills = append(fs.prefills, &prefillServer{sys: sys, spec: si})
+				continue
+			}
+			eng, err := sys.NewEngine()
+			if err != nil {
+				return nil, err
+			}
+			eng.SetHorizon(horizon)
+			fr := &fleetReplica{replica: replica{sys: sys, eng: eng}, role: spec.Role, spec: si}
+			if spec.Role == RoleUnified {
+				fr.pre = &prefillServer{sys: sys, spec: si}
+			}
+			fs.decoders = append(fs.decoders, fr)
+		}
+	}
+	fs.bpt = bpt
+	fs.incoming = make([]int, len(fs.decoders))
+	return fs, nil
+}
+
+// runFleet serves a timed arrival schedule on a heterogeneous fleet.
+func runFleet(ctx context.Context, cfg Config, arrivals []workload.Arrival) (*Report, error) {
+	fs, err := newFleetSim(cfg, len(arrivals))
+	if err != nil {
+		return nil, err
+	}
+	for i, a := range arrivals {
+		if i > 0 && a.At < arrivals[i-1].At {
+			return nil, fmt.Errorf("serve: arrivals not sorted at %d (%g after %g)", i, a.At, arrivals[i-1].At)
+		}
+		if _, dup := fs.recs[a.Req.ID]; dup {
+			return nil, fmt.Errorf("serve: duplicate request ID %d in schedule", a.Req.ID)
+		}
+		rec := &record{req: a.Req, arrival: a.At, replica: -1}
+		fs.recs[a.Req.ID] = rec
+		fs.push(evArrive, rec, 0, -1, a.At)
+	}
+	if err := fs.run(ctx); err != nil {
+		return nil, err
+	}
+	return fs.report(arrivals)
+}
+
+func (fs *fleetSim) push(kind int, rec *record, gen, dst int, at float64) {
+	fs.seq++
+	heap.Push(&fs.events, &fleetEvent{at: at, seq: fs.seq, kind: kind, rec: rec, gen: gen, dst: dst})
+}
+
+// busyCount reports how many decoders still hold work.
+func (fs *fleetSim) busyCount() int {
+	n := 0
+	for _, d := range fs.decoders {
+		if !d.eng.Idle() {
+			n++
+		}
+	}
+	return n
+}
+
+// syncIdle jumps idle decoders' clocks forward to t (never backward).
+func (fs *fleetSim) syncIdle(t float64) {
+	for _, d := range fs.decoders {
+		if d.eng.Idle() && d.clock < t {
+			d.clock = t
+		}
+	}
+}
+
+// run is the global scheduling loop, organised as a discrete-event
+// simulation over decoder iteration boundaries: always advance the
+// lagging busy decoder, one engine call at a time, bounded by both the
+// earliest pending event and the next-lagging decoder's clock. The
+// second bound is what makes the loop exact at any leap granularity —
+// a replica never simulates past a point where a slower replica may
+// still create an event (a preemption becoming a migration, a
+// completion freeing headroom), so every scheduler decision observes
+// every decoder at the same iteration boundary whether the engines
+// single-step or leap. Scheduler state (queue admission, pending work,
+// KV release) only changes at engine-call boundaries and event
+// dispatches, so placement and stealing are re-evaluated exactly there.
+func (fs *fleetSim) run(ctx context.Context) error {
+	for {
+		if fs.events.Len() == 0 && fs.busyCount() == 0 {
+			if len(fs.held) == 0 {
+				return nil
+			}
+			n := len(fs.held)
+			fs.placeHeld(fs.clock)
+			if len(fs.held) == n {
+				return fmt.Errorf("serve: %d requests held with no fleet replica able to admit them", n)
+			}
+			continue
+		}
+		target := math.Inf(1)
+		if fs.events.Len() > 0 {
+			target = fs.events[0].at
+		}
+		if d, until := fs.pickLagging(target); d != nil {
+			if err := fs.engineCall(ctx, d, until); err != nil {
+				return err
+			}
+			fs.placeHeld(d.clock)
+			fs.trySteal(d.clock)
+			continue
+		}
+		// Every busy decoder has reached the earliest event: dispatch it.
+		e := heap.Pop(&fs.events).(*fleetEvent)
+		if e.at > fs.clock {
+			fs.clock = e.at
+		}
+		fs.syncIdle(e.at)
+		if err := fs.dispatch(e); err != nil {
+			return err
+		}
+		fs.placeHeld(e.at)
+		fs.trySteal(e.at)
+	}
+}
+
+// pickLagging returns the busy decoder with the earliest clock still
+// behind target (ties to the lowest index), plus the bound for its next
+// engine call: the earliest event time or the next-lagging busy
+// decoder's clock, whichever comes first.
+func (fs *fleetSim) pickLagging(target float64) (*fleetReplica, float64) {
+	var d *fleetReplica
+	for _, o := range fs.decoders {
+		if o.eng.Idle() || o.clock >= target {
+			continue
+		}
+		if d == nil || o.clock < d.clock {
+			d = o
+		}
+	}
+	if d == nil {
+		return nil, 0
+	}
+	until := target
+	for _, o := range fs.decoders {
+		if o == d || o.eng.Idle() {
+			continue
+		}
+		if o.clock < until {
+			until = o.clock
+		}
+	}
+	return d, until
+}
+
+// engineCall advances one decoder by a single (horizon-clamped) engine
+// call toward t, then lets the scheduler react to any preemptions the
+// step produced.
+func (fs *fleetSim) engineCall(ctx context.Context, d *fleetReplica, t float64) error {
+	res, err := fs.step(ctx, &d.replica, t)
+	if err != nil {
+		return err
+	}
+	if len(res.Preempted) == 0 || !fs.cfg.Migrate || !fs.ic.Usable() {
+		return nil
+	}
+	for _, v := range res.Preempted {
+		if err := fs.considerMigration(d, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// considerMigration decides a preempted request's fate: move its live
+// KV to another replica if the transfer is cheaper than the recompute
+// re-admission would charge here, otherwise leave it queued for the
+// recompute path.
+func (fs *fleetSim) considerMigration(d *fleetReplica, v workload.Request) error {
+	gen := d.eng.Progress(v.ID)
+	kvTokens := v.Context + gen
+	bytes := int64(kvTokens) * fs.bpt
+	transfer := fs.ic.TransferSeconds(bytes)
+	if transfer >= d.sys.PrefillSeconds(kvTokens) {
+		return nil // recompute locally is at least as cheap
+	}
+	dst := -1
+	var bestFree int64 = -1
+	for i, o := range fs.decoders {
+		if o == d || !o.eng.HasHeadroom(v) {
+			continue
+		}
+		if free := o.eng.FreeKVBytes(); free > bestFree {
+			dst, bestFree = i, free
+		}
+	}
+	if dst < 0 {
+		return nil // nowhere to go; recompute path
+	}
+	if _, _, err := d.eng.Withdraw(v.ID); err != nil {
+		return err
+	}
+	fs.stats.Migrations++
+	fs.stats.TransferBytes += bytes
+	fs.stats.TransferSeconds += transfer
+	fs.incoming[dst]++
+	fs.push(evResume, fs.recs[v.ID], gen, dst, d.clock+transfer)
+	return nil
+}
+
+// dispatch applies one global event at its timestamp.
+func (fs *fleetSim) dispatch(e *fleetEvent) error {
+	switch e.kind {
+	case evArrive:
+		return fs.routeArrival(e)
+	case evHandoff:
+		if e.dst >= 0 {
+			return fs.enqueueOn(e.dst, e.rec)
+		}
+		// Disaggregated handoff: the KV is staged, place it now.
+		if dst := fs.place(e.rec.req); dst >= 0 {
+			return fs.enqueueOn(dst, e.rec)
+		}
+		fs.held = append(fs.held, heldReq{rec: e.rec})
+		fs.stats.Held++
+		return nil
+	case evResume:
+		fs.incoming[e.dst]--
+		e.rec.replica = e.dst
+		return fs.decoders[e.dst].eng.EnqueueResumed(e.rec.req, e.gen)
+	default:
+		return fmt.Errorf("serve: unknown fleet event kind %d", e.kind)
+	}
+}
+
+// routeArrival sends a new request into its prefill phase. In a
+// disaggregated fleet the earliest-free prefill server takes it and the
+// handoff (prefill end + KV transfer) is scheduled with placement
+// deferred to landing time; in a unified fleet placement happens now —
+// the prompt KV is built where the request will decode — and a held
+// request owes its prefill once placed.
+func (fs *fleetSim) routeArrival(e *fleetEvent) error {
+	rec := e.rec
+	if len(fs.prefills) > 0 {
+		p := fs.pickPrefill()
+		end := p.serve(e.at, rec.req.Context)
+		bytes := int64(rec.req.Context) * fs.bpt
+		transfer := fs.ic.TransferSeconds(bytes)
+		fs.stats.Handoffs++
+		fs.stats.TransferBytes += bytes
+		fs.stats.TransferSeconds += transfer
+		fs.push(evHandoff, rec, 0, -1, end+transfer)
+		return nil
+	}
+	if dst := fs.place(rec.req); dst >= 0 {
+		fs.localPrefill(dst, rec, e.at)
+		return nil
+	}
+	fs.held = append(fs.held, heldReq{rec: rec, needsPrefill: true})
+	fs.stats.Held++
+	return nil
+}
+
+// localPrefill runs a unified replica's colocated prompt pass and
+// schedules the (transfer-free) handoff into its own decode queue.
+func (fs *fleetSim) localPrefill(dst int, rec *record, now float64) {
+	end := fs.decoders[dst].pre.serve(now, rec.req.Context)
+	fs.push(evHandoff, rec, 0, dst, end)
+}
+
+// pickPrefill picks the earliest-available dedicated prefill server
+// (ties to the lowest index).
+func (fs *fleetSim) pickPrefill() *prefillServer {
+	best := fs.prefills[0]
+	for _, p := range fs.prefills[1:] {
+		if p.free < best.free {
+			best = p
+		}
+	}
+	return best
+}
+
+// place asks the placement policy for a decode replica, -1 to hold.
+func (fs *fleetSim) place(r workload.Request) int {
+	loads := make([]FleetLoad, len(fs.decoders))
+	for i, d := range fs.decoders {
+		loads[i] = FleetLoad{
+			Load: Load{
+				OutstandingTokens: d.eng.OutstandingTokens(),
+				Active:            d.eng.Active(),
+				Pending:           d.eng.Pending(),
+				Clock:             d.clock,
+			},
+			Role:        d.role,
+			FreeKVBytes: d.eng.FreeKVBytes(),
+			Fits:        d.eng.HasHeadroom(r),
+		}
+	}
+	dst := fs.placement.Place(r, loads)
+	if dst >= len(fs.decoders) {
+		return -1
+	}
+	return dst
+}
+
+// enqueueOn commits a prefilled request to a decoder's queue.
+func (fs *fleetSim) enqueueOn(dst int, rec *record) error {
+	rec.replica = dst
+	return fs.decoders[dst].eng.Enqueue(rec.req)
+}
+
+// placeHeld retries the global queue in FIFO order, stopping at the
+// first request that still fits nowhere (strict FCFS, matching the
+// engines' own queue discipline).
+func (fs *fleetSim) placeHeld(now float64) {
+	for len(fs.held) > 0 {
+		h := fs.held[0]
+		dst := fs.place(h.rec.req)
+		if dst < 0 {
+			return
+		}
+		fs.held = fs.held[1:]
+		d := fs.decoders[dst]
+		if d.eng.Idle() && d.clock < now {
+			d.clock = now
+		}
+		if h.needsPrefill {
+			fs.localPrefill(dst, h.rec, now)
+			continue
+		}
+		// Unplaceable enqueue errors cannot happen here: place() only
+		// returns fitting replicas for the built-in policies, and a
+		// custom policy routing a duplicate would have failed earlier.
+		if err := fs.enqueueOn(dst, h.rec); err != nil {
+			// Put it back and stop; run() will surface the stall.
+			fs.held = append([]heldReq{h}, fs.held...)
+			return
+		}
+	}
+}
+
+// trySteal lets each idle decoder (with nothing already in flight
+// toward it) pull the newest zero-progress queued request from the most
+// backlogged other decoder, paying the prompt-KV transfer.
+func (fs *fleetSim) trySteal(now float64) {
+	if !fs.cfg.Steal || !fs.ic.Usable() {
+		return
+	}
+	for di, d := range fs.decoders {
+		if !d.eng.Idle() || fs.incoming[di] > 0 {
+			continue
+		}
+		src := -1
+		for si, s := range fs.decoders {
+			// Steal only from replicas decoding with a backlog: a replica
+			// whose queue is non-empty but idle is about to admit that work
+			// itself, and stealing it back and forth would never converge.
+			if si == di || s.eng.Active() == 0 || s.eng.Pending() == 0 {
+				continue
+			}
+			if src < 0 || s.eng.Pending() > fs.decoders[src].eng.Pending() {
+				src = si
+			}
+		}
+		if src < 0 {
+			continue
+		}
+		s := fs.decoders[src]
+		r, ok := s.eng.StealNewest()
+		if !ok {
+			continue
+		}
+		bytes := int64(r.Context) * fs.bpt
+		transfer := fs.ic.TransferSeconds(bytes)
+		at := now
+		if s.clock > at {
+			at = s.clock
+		}
+		fs.stats.Steals++
+		fs.stats.TransferBytes += bytes
+		fs.stats.TransferSeconds += transfer
+		fs.incoming[di]++
+		fs.push(evResume, fs.recs[r.ID], 0, di, at+transfer)
+	}
+}
+
+// report folds the shared per-request records plus the fleet extras.
+func (fs *fleetSim) report(arrivals []workload.Arrival) (*Report, error) {
+	reps := make([]*replica, len(fs.decoders))
+	for i, d := range fs.decoders {
+		reps[i] = &d.replica
+	}
+	rep, err := foldReport(fs.recs, arrivals, fs.cfg.SLO, fs.placement.Name(), reps)
+	if err != nil {
+		return nil, err
+	}
+	st := fs.stats
+	st.PrefillReplicas = len(fs.prefills)
+	st.DecodeReplicas = len(fs.decoders)
+	for _, p := range fs.prefills {
+		st.PrefillSeconds += p.busy
+	}
+	var picoJoules float64
+	tokens := 0
+	for _, d := range fs.decoders {
+		if d.pre != nil {
+			st.PrefillSeconds += d.pre.busy
+		}
+		ae, fe := d.eng.Energy()
+		picoJoules += ae.Total() + fe.Total()
+	}
+	for _, s := range rep.PerReplica {
+		tokens += s.Tokens
+	}
+	if tokens > 0 {
+		st.JoulesPerToken = picoJoules * 1e-12 / float64(tokens)
+	}
+	rep.Fleet = &st
+	return rep, nil
+}

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"pimphony/internal/sweep"
+	"pimphony/internal/tablefmt"
+	"pimphony/internal/workload"
+)
+
+// FleetPoint is one cell of a fleet-comparison sweep: a named fleet
+// composition serving an arrival schedule at the given rate. The specs
+// carry their own KV budgets, so comparisons at equal aggregate budget
+// are expressed by the point set, not the table.
+type FleetPoint struct {
+	Name  string // fleet label, e.g. "pim", "gpu", "disagg"
+	Specs []ReplicaSpec
+	Rate  float64 // offered arrival rate in requests/second
+	// Cfg carries the scheduler knobs (Interconnect, Placement is built
+	// fresh per run from PlacementName, Migrate, Steal); System/Replicas
+	// /Policy fields are ignored.
+	Cfg           Config
+	PlacementName string // a PlacementNames() entry; "" = kv-headroom
+}
+
+// FleetTable evaluates fleet compositions — each an independent,
+// internally sequential fleet simulation — through the parallel sweep
+// engine and renders the disaggregation comparison: goodput and SLO
+// attainment at equal SLO next to TTFT/TBT tails, the explicitly priced
+// transfer seconds against the recompute seconds they displaced, the
+// scheduler's migration/steal counts, and joules per generated token.
+// mkArrivals must be deterministic, so the table is byte-identical at
+// any sweep parallelism. The cmd/pimphony-serve -fleet mode and the
+// "fleet" experiment driver both render through here.
+func FleetTable(ctx context.Context, title string, pts []FleetPoint, slo SLO,
+	mkArrivals func(rate float64) ([]workload.Arrival, error),
+	opts ...sweep.Option) (*tablefmt.Table, error) {
+	t := tablefmt.New(title,
+		"fleet", "repl", "req/s", "tok/s", "goodput", "slo-met%",
+		"ttft-p50", "ttft-p95", "tbt-p95",
+		"xfer-s", "recomp-s", "migr", "steal", "j/tok")
+	rows, err := sweep.Rows(ctx, pts, func(ctx context.Context, p FleetPoint) ([]any, error) {
+		cfg := p.Cfg
+		cfg.Fleet = p.Specs
+		cfg.SLO = slo
+		name := p.PlacementName
+		if name == "" {
+			name = "kv-headroom"
+		}
+		pl, err := PlacementByName(name)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Placement = pl
+		arr, err := mkArrivals(p.Rate)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := Run(ctx, cfg, arr)
+		if err != nil {
+			return nil, fmt.Errorf("fleet %s @ %g req/s: %w", p.Name, p.Rate, err)
+		}
+		ms := func(v float64) float64 { return 1e3 * v }
+		fl := rep.Fleet
+		return []any{p.Name, RoleSummary(p.Specs), p.Rate, rep.Throughput, rep.Goodput, 100 * rep.SLOMet,
+			ms(rep.TTFT.P50), ms(rep.TTFT.P95), ms(rep.TBT.P95),
+			fl.TransferSeconds, rep.Capacity.RecomputeSeconds,
+			fl.Migrations, fl.Steals, fl.JoulesPerToken}, nil
+	}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		t.AddRow(r...)
+	}
+	return t, nil
+}
+
+// RoleSummary compresses a fleet's shape into a label like "1pre+3dec"
+// or "4uni" for table rows and logs.
+func RoleSummary(specs []ReplicaSpec) string {
+	counts := map[Role]int{}
+	for _, s := range specs {
+		counts[s.Role] += s.Count
+	}
+	abbrev := map[Role]string{RoleUnified: "uni", RolePrefill: "pre", RoleDecode: "dec"}
+	var parts []string
+	for _, r := range []Role{RolePrefill, RoleDecode, RoleUnified} {
+		if counts[r] > 0 {
+			parts = append(parts, fmt.Sprintf("%d%s", counts[r], abbrev[r]))
+		}
+	}
+	return strings.Join(parts, "+")
+}

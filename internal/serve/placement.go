@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"fmt"
+
+	"pimphony/internal/workload"
+)
+
+// FleetLoad is one decode replica's state at a fleet placement
+// decision: the routing Load plus the KV-headroom view the global
+// scheduler admits against.
+type FleetLoad struct {
+	Load
+	// Role is the replica's place in the prefill/decode split
+	// (RoleUnified or RoleDecode; pure-prefill replicas are not decode
+	// targets and never appear in a placement decision).
+	Role Role
+	// FreeKVBytes is the replica's unreserved KV pool capacity.
+	FreeKVBytes int64
+	// Fits reports whether the replica's allocator could admit the
+	// request being placed right now at its serving horizon (the same
+	// predicate the engine's own admission uses). Placement against
+	// fleet-wide headroom means preferring fitting replicas; a request
+	// fitting nowhere is held in the global queue until capacity frees.
+	Fits bool
+}
+
+// Placement places one request on a decode replica index, or returns -1
+// to hold it in the fleet's global queue until a later decision point
+// (the cross-replica admission control: no replica has KV headroom, so
+// the request should not yet be committed to any per-replica queue).
+// Placements may keep state, so each simulation needs its own instance.
+type Placement interface {
+	Name() string
+	Place(r workload.Request, loads []FleetLoad) int
+}
+
+// KVHeadroom places on the fitting replica with the most free KV pool
+// (ties break to the lowest index) and holds when nothing fits — the
+// default global-scheduler policy: pack by capacity headroom, never
+// commit a request to a replica that would have to queue it on memory.
+func KVHeadroom() Placement { return kvHeadroom{} }
+
+type kvHeadroom struct{}
+
+func (kvHeadroom) Name() string { return "kv-headroom" }
+
+func (kvHeadroom) Place(_ workload.Request, loads []FleetLoad) int {
+	best := -1
+	for i, l := range loads {
+		if !l.Fits {
+			continue
+		}
+		if best < 0 || l.FreeKVBytes > loads[best].FreeKVBytes {
+			best = i
+		}
+	}
+	return best
+}
+
+// LeastTokensFit places on the fitting replica owing the fewest decode
+// tokens (ties break to the lowest index) and holds when nothing fits —
+// the load-balancing analogue of LeastOutstandingTokens under the
+// fleet's admission control.
+func LeastTokensFit() Placement { return leastTokensFit{} }
+
+type leastTokensFit struct{}
+
+func (leastTokensFit) Name() string { return "least-tokens-fit" }
+
+func (leastTokensFit) Place(_ workload.Request, loads []FleetLoad) int {
+	best := -1
+	for i, l := range loads {
+		if !l.Fits {
+			continue
+		}
+		if best < 0 || l.OutstandingTokens < loads[best].OutstandingTokens {
+			best = i
+		}
+	}
+	return best
+}
+
+// RoundRobinFit cycles through the fitting replicas in decision order
+// and holds when nothing fits — the load-oblivious fleet baseline.
+func RoundRobinFit() Placement { return &roundRobinFit{} }
+
+type roundRobinFit struct{ next int }
+
+func (*roundRobinFit) Name() string { return "round-robin-fit" }
+
+func (p *roundRobinFit) Place(_ workload.Request, loads []FleetLoad) int {
+	for probe := 0; probe < len(loads); probe++ {
+		i := (p.next + probe) % len(loads)
+		if loads[i].Fits {
+			p.next = i + 1
+			return i
+		}
+	}
+	return -1
+}
+
+// PlacementByName builds a fresh placement instance from its CLI name.
+func PlacementByName(name string) (Placement, error) {
+	switch name {
+	case "kv-headroom":
+		return KVHeadroom(), nil
+	case "least-tokens-fit":
+		return LeastTokensFit(), nil
+	case "round-robin-fit":
+		return RoundRobinFit(), nil
+	default:
+		return nil, fmt.Errorf("serve: unknown placement %q (known: %v)", name, PlacementNames())
+	}
+}
+
+// PlacementNames lists the selectable fleet placement policies in CLI
+// order.
+func PlacementNames() []string {
+	return []string{"kv-headroom", "least-tokens-fit", "round-robin-fit"}
+}

@@ -44,6 +44,7 @@ import (
 
 	"pimphony/internal/cluster"
 	"pimphony/internal/sweep"
+	"pimphony/internal/timing"
 	"pimphony/internal/workload"
 )
 
@@ -93,10 +94,46 @@ type Config struct {
 	// — so the knob exists for those tests and for debugging; production
 	// runs leave it off and simulate the same traffic many times faster.
 	SingleStep bool
+
+	// Fleet, when non-empty, switches Run to the heterogeneous fleet
+	// simulator: replicas are built from these specs (each with its own
+	// backend, allocator technique and KV budget) instead of Replicas
+	// copies of System, prefill and decode can run on different
+	// replicas with an explicitly priced KV-transfer hop, and the
+	// global scheduler (Placement, Migrate, Steal) replaces Policy.
+	// System, Replicas, Policy and IncludePrefill are ignored in fleet
+	// mode; see fleet.go.
+	Fleet []ReplicaSpec
+	// Interconnect prices every inter-replica KV movement in fleet mode
+	// (prefill→decode handoffs, migrations, steals). The zero value is
+	// an unusable fabric: fine for unified fleets (KV stays local and
+	// migration/stealing simply never win), an error for disaggregated
+	// ones (handoffs need a link).
+	Interconnect timing.Interconnect
+	// Placement places decode work on fleet replicas against fleet-wide
+	// KV headroom (nil = KVHeadroom()). Like Policy, each Run needs a
+	// fresh instance.
+	Placement Placement
+	// Migrate lets the fleet scheduler move a preempted request's KV to
+	// another replica when the transfer is cheaper than the recompute
+	// its re-admission would charge.
+	Migrate bool
+	// Steal lets idle decode replicas take queued zero-progress
+	// requests from the most backlogged replica (prompt KV moves over
+	// the interconnect).
+	Steal bool
+	// LeapHorizon caps iterations per engine leap in fleet mode, so a
+	// draining replica cannot run arbitrarily far past the next global
+	// event (0 = the fleetLeapHorizon default). Reports are identical
+	// at any value; only simulation granularity changes.
+	LeapHorizon int
 }
 
 // Validate reports configuration errors.
 func (c *Config) Validate() error {
+	if len(c.Fleet) > 0 {
+		return c.validateFleet()
+	}
 	switch {
 	case c.Replicas <= 0:
 		return fmt.Errorf("serve: Replicas must be positive, got %d", c.Replicas)
@@ -207,102 +244,19 @@ type Report struct {
 	Capacity CapacityStats
 	// PerReplica breaks the work down by replica.
 	PerReplica []ReplicaStats
+	// Fleet carries the fleet-mode extras — roles, transfer accounting,
+	// scheduler actions, joules/token — and is nil for the load-balanced
+	// path.
+	Fleet *FleetStats
 }
 
-// record tracks one request's lifecycle timestamps.
-type record struct {
-	req     workload.Request
-	arrival float64
-	first   float64 // end of the iteration that produced token 1
-	done    float64 // end of the iteration that produced the last token
-	tokens  int     // tokens actually generated (Decode, unless truncated at T_max)
-	replica int
-	prefill float64
-}
-
-// replica is one decode engine plus its private clock.
-type replica struct {
-	sys   *cluster.System
-	eng   *cluster.Engine
-	clock float64
-	// iterScratch backs apply's single-iteration view of a plain Step
-	// result, reused across steps.
-	iterScratch []float64
-}
-
-// sim is the in-flight simulation state.
+// sim is the in-flight simulation state of the load-balanced path: the
+// shared advancement tracker plus the identical replicas the Policy
+// routes over.
 type sim struct {
-	cfg      Config
+	cfg Config
+	tracker
 	replicas []*replica
-	recs     map[int]*record
-}
-
-// step advances a replica by one engine call — a single decode
-// iteration, or a multi-iteration leap bounded by t (the time the
-// replica is advancing toward) — and stamps the resulting events with
-// the replica's clock.
-func (s *sim) step(ctx context.Context, r *replica, t float64) error {
-	var res cluster.StepResult
-	var err error
-	if s.cfg.SingleStep {
-		res, err = r.eng.Step(ctx)
-	} else {
-		res, err = r.eng.Leap(ctx, r.clock, t)
-	}
-	if err != nil {
-		return err
-	}
-	if res.Batch == 0 {
-		return nil // idle; the caller advances the clock to the next event
-	}
-	s.apply(res, r)
-	return nil
-}
-
-// apply folds one engine result — single-iteration or an aggregated
-// leap — into the per-request records. Replaying IterSeconds keeps
-// every per-token timestamp identical to single stepping: the clock
-// accumulates iteration by iteration, and a request's first token is
-// stamped at the end of the iteration that produced it (its token count
-// reaching one — not the first==0 sentinel, which a first iteration
-// ending at simulated time exactly zero would leave unset for later
-// tokens to re-stamp).
-func (s *sim) apply(res cluster.StepResult, r *replica) {
-	iters := res.IterSeconds
-	if iters == nil {
-		iters = r.iterScratch[:0]
-		iters = append(iters, res.Seconds)
-		r.iterScratch = iters
-	}
-	end := r.clock
-	for _, d := range iters {
-		end += d
-		for _, id := range res.Generated {
-			rec := s.recs[id]
-			rec.tokens++
-			if rec.tokens == 1 {
-				rec.first = end
-			}
-		}
-	}
-	for _, q := range res.Completed {
-		s.recs[q.ID].done = end
-	}
-	r.clock = end
-}
-
-// advance simulates a replica up to time t (or through its current work
-// if it empties earlier); an idle replica's clock jumps to t.
-func (s *sim) advance(ctx context.Context, r *replica, t float64) error {
-	for r.clock < t && !r.eng.Idle() {
-		if err := s.step(ctx, r, t); err != nil {
-			return err
-		}
-	}
-	if r.eng.Idle() && r.clock < t {
-		r.clock = t
-	}
-	return nil
 }
 
 // advanceAll advances every replica up to time t. Replicas share no
@@ -322,7 +276,9 @@ func (s *sim) advanceAll(ctx context.Context, t float64) error {
 
 // Run serves a timed arrival schedule to completion and reports the SLO
 // metrics. Arrivals must be sorted by At with unique request IDs; every
-// request needs a positive Decode length.
+// request needs a positive Decode length. With Config.Fleet set, the
+// heterogeneous fleet simulator serves the schedule instead (see
+// fleet.go); everything below is the classic load-balanced path.
 func Run(ctx context.Context, cfg Config, arrivals []workload.Arrival) (*Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -330,7 +286,10 @@ func Run(ctx context.Context, cfg Config, arrivals []workload.Arrival) (*Report,
 	if len(arrivals) == 0 {
 		return nil, fmt.Errorf("serve: empty arrival schedule")
 	}
-	s := &sim{cfg: cfg, recs: make(map[int]*record, len(arrivals))}
+	if len(cfg.Fleet) > 0 {
+		return runFleet(ctx, cfg, arrivals)
+	}
+	s := &sim{cfg: cfg, tracker: tracker{recs: make(map[int]*record, len(arrivals)), singleStep: cfg.SingleStep}}
 	for i := 0; i < cfg.Replicas; i++ {
 		sys, err := cluster.New(cfg.System)
 		if err != nil {
@@ -385,12 +344,21 @@ func Run(ctx context.Context, cfg Config, arrivals []workload.Arrival) (*Report,
 
 // report folds the per-request records into the SLO metrics.
 func (s *sim) report(arrivals []workload.Arrival) (*Report, error) {
+	return foldReport(s.recs, arrivals, s.cfg.SLO, s.cfg.Policy.Name(), s.replicas)
+}
+
+// foldReport turns per-request records and replica counters into a
+// Report. The metric definitions are shared verbatim by the
+// load-balanced and fleet paths — only how work reached a replica
+// differs between them, never how its latencies are scored.
+func foldReport(recs map[int]*record, arrivals []workload.Arrival, slo SLO, policyName string,
+	replicas []*replica) (*Report, error) {
 	rep := &Report{
-		Policy:      s.cfg.Policy.Name(),
-		Replicas:    len(s.replicas),
-		Requests:    len(s.recs),
+		Policy:      policyName,
+		Replicas:    len(replicas),
+		Requests:    len(recs),
 		OfferedRate: workload.OfferedRate(arrivals),
-		PerReplica:  make([]ReplicaStats, len(s.replicas)),
+		PerReplica:  make([]ReplicaStats, len(replicas)),
 	}
 	firstArrival := arrivals[0].At
 	var lastDone float64
@@ -399,7 +367,7 @@ func (s *sim) report(arrivals []workload.Arrival) (*Report, error) {
 	met := 0
 	// Iterate in arrival order for deterministic accumulation.
 	for _, a := range arrivals {
-		rec := s.recs[a.Req.ID]
+		rec := recs[a.Req.ID]
 		if rec.done == 0 {
 			return nil, fmt.Errorf("serve: request %d never completed", a.Req.ID)
 		}
@@ -413,7 +381,7 @@ func (s *sim) report(arrivals []workload.Arrival) (*Report, error) {
 		tbts = append(tbts, tbt)
 		e2es = append(e2es, e2e)
 		allTokens += rec.tokens
-		if s.cfg.SLO.Met(ttft, tbt) {
+		if slo.Met(ttft, tbt) {
 			met++
 			goodTokens += rec.tokens
 		}
@@ -424,7 +392,7 @@ func (s *sim) report(arrivals []workload.Arrival) (*Report, error) {
 		st.Requests++
 		st.Tokens += rec.tokens
 	}
-	for i, r := range s.replicas {
+	for i, r := range replicas {
 		st := &rep.PerReplica[i]
 		st.Steps = r.eng.Steps()
 		st.BusySeconds = r.eng.BusySeconds()
@@ -457,7 +425,7 @@ func (s *sim) report(arrivals []workload.Arrival) (*Report, error) {
 		rep.Throughput = float64(allTokens) / rep.MakespanSeconds
 		rep.Goodput = float64(goodTokens) / rep.MakespanSeconds
 	}
-	rep.SLOMet = float64(met) / float64(len(s.recs))
+	rep.SLOMet = float64(met) / float64(len(recs))
 	rep.TTFT = quantiles(ttfts)
 	rep.TBT = quantiles(tbts)
 	rep.E2E = quantiles(e2es)

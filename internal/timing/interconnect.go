@@ -1,0 +1,52 @@
+package timing
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interconnect models the inter-replica fabric of a serving fleet — the
+// CXL/NVLink-class links over which prefilled or migrated KV caches move
+// between replicas. Where Device.LinkBytesPerCycle prices the module's
+// own host link inside one system, an Interconnect prices traffic
+// *between* systems, so the fleet simulator can charge a KV handoff or
+// migration explicitly instead of assuming it free.
+//
+// The model is a latency–bandwidth pipe: moving n bytes costs
+// LatencySeconds + n/BytesPerSecond. The zero value is an unusable link
+// (transfers take forever), which the fleet layer uses as the "no
+// fabric" sentinel: migration and queue stealing are never chosen over
+// an unusable link, degrading exactly to the preemption-by-recompute
+// path.
+type Interconnect struct {
+	// BytesPerSecond is the link bandwidth; <= 0 means unusable.
+	BytesPerSecond float64
+	// LatencySeconds is the fixed per-transfer latency (propagation plus
+	// protocol overhead), charged once per KV movement.
+	LatencySeconds float64
+}
+
+// DefaultInterconnect returns the CXL/NVLink-class fabric assumed
+// between fleet replicas: 64 GiB/s of bandwidth at 2 us latency —
+// NVLink-generation bandwidth with a switch hop, conservative for
+// intra-rack and optimistic for cross-rack.
+func DefaultInterconnect() Interconnect {
+	return Interconnect{BytesPerSecond: 64 << 30, LatencySeconds: 2e-6}
+}
+
+// Usable reports whether the link can move bytes at all.
+func (ic Interconnect) Usable() bool { return ic.BytesPerSecond > 0 }
+
+// TransferSeconds is the time to move n bytes across the link:
+// LatencySeconds + n/BytesPerSecond. An unusable link returns +Inf, so
+// cost comparisons (migrate vs recompute) naturally never pick it; a
+// negative byte count is a caller bug and panics.
+func (ic Interconnect) TransferSeconds(n int64) float64 {
+	if n < 0 {
+		panic(fmt.Sprintf("timing: negative transfer size %d", n))
+	}
+	if !ic.Usable() {
+		return math.Inf(1)
+	}
+	return ic.LatencySeconds + float64(n)/ic.BytesPerSecond
+}

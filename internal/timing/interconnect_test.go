@@ -1,0 +1,56 @@
+package timing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestInterconnectTransferSeconds(t *testing.T) {
+	ic := Interconnect{BytesPerSecond: 1 << 30, LatencySeconds: 1e-6}
+	if !ic.Usable() {
+		t.Fatal("1 GiB/s link reported unusable")
+	}
+	got := ic.TransferSeconds(1 << 30)
+	want := 1e-6 + 1.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("TransferSeconds(1 GiB) = %g, want %g", got, want)
+	}
+	if got := ic.TransferSeconds(0); got != 1e-6 {
+		t.Errorf("TransferSeconds(0) = %g, want the bare latency", got)
+	}
+}
+
+func TestInterconnectTransferMonotone(t *testing.T) {
+	ic := DefaultInterconnect()
+	prev := -1.0
+	for _, n := range []int64{0, 1, 1 << 10, 1 << 20, 1 << 30, 1 << 40} {
+		d := ic.TransferSeconds(n)
+		if d <= prev {
+			t.Fatalf("TransferSeconds not strictly increasing at %d bytes: %g after %g", n, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestInterconnectUnusable(t *testing.T) {
+	var ic Interconnect // zero value: no fabric
+	if ic.Usable() {
+		t.Fatal("zero-value interconnect reported usable")
+	}
+	if d := ic.TransferSeconds(1); !math.IsInf(d, 1) {
+		t.Errorf("unusable TransferSeconds = %g, want +Inf", d)
+	}
+	neg := Interconnect{BytesPerSecond: -5}
+	if neg.Usable() {
+		t.Fatal("negative-bandwidth interconnect reported usable")
+	}
+}
+
+func TestInterconnectNegativeBytesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TransferSeconds(-1) did not panic")
+		}
+	}()
+	DefaultInterconnect().TransferSeconds(-1)
+}
