@@ -6,7 +6,11 @@ GO ?= go
 # Statement-coverage floor for the system-backend seam (make cover / CI).
 BACKEND_COVER_MIN ?= 80
 
-.PHONY: all fmt fmt-check vet staticcheck build examples test test-short fleet bench bench-check bench-baseline cover ci
+# Statement-coverage floor for the serving spine's advancement and
+# placement seams (make cover-serve / CI).
+SERVE_COVER_MIN ?= 85
+
+.PHONY: all fmt fmt-check vet staticcheck build examples test test-short race-serve fuzz-smoke fleet bench bench-check bench-baseline cover cover-serve ci
 
 all: build
 
@@ -50,6 +54,18 @@ test:
 test-short:
 	$(GO) test -race -short ./...
 
+# The serving-spine race lane: the fleet scheduler and DES tests on
+# their full grids, twice, under the race detector with a deadline — a
+# schedule-order race that only bites on a warm second run still fails.
+race-serve:
+	$(GO) test -race -count=2 -timeout 10m ./internal/serve/
+
+# 30-second fuzz smoke over the DES spine: randomized (seed,
+# arrival-mix, fleet-shape) tuples must keep every synchronization
+# discipline byte-identical and every DES invariant intact.
+fuzz-smoke:
+	$(GO) test -fuzz FuzzDESSchedule -fuzztime 30s ./internal/serve/
+
 # Render the fleet study on the full grids: homogeneous PIM-only and
 # GPU fleets vs the disaggregated xPU-prefill/PIM-decode split at an
 # equal aggregate KV budget (the README's fleet table).
@@ -84,4 +100,27 @@ cover:
 	awk -v p="$$pct" -v min="$(BACKEND_COVER_MIN)" 'BEGIN { exit (p + 0 < min) ? 1 : 0 }' || \
 		{ echo "internal/backend coverage $$pct% is below $(BACKEND_COVER_MIN)%" >&2; exit 1; }
 
-ci: fmt-check vet staticcheck build examples test-short bench bench-check cover
+# Per-file statement-coverage gate on the serving spine's two policy
+# seams: replica advancement (advance.go) and fleet placement
+# (placement.go) must each stay at or above $(SERVE_COVER_MIN)%. The
+# per-file numbers come straight from the coverage profile (cover -func
+# only reports per-function), summed per block.
+cover-serve:
+	$(GO) test -coverprofile=coverage-serve.out ./internal/serve/
+	@awk -v min="$(SERVE_COVER_MIN)" '\
+		NR > 1 { \
+			n = split($$1, loc, "/"); split(loc[n], parts, ":"); f = parts[1]; \
+			tot[f] += $$2; if ($$3 > 0) cov[f] += $$2; \
+		} \
+		END { \
+			bad = 0; \
+			split("advance.go placement.go", want, " "); \
+			for (i in want) { f = want[i]; \
+				pct = tot[f] ? 100 * cov[f] / tot[f] : 0; \
+				printf "internal/serve/%s statement coverage: %.1f%% (floor %d%%)\n", f, pct, min; \
+				if (pct < min) bad = 1; \
+			} \
+			exit bad; \
+		}' coverage-serve.out || { echo "serve spine coverage below $(SERVE_COVER_MIN)%" >&2; exit 1; }
+
+ci: fmt-check vet staticcheck build examples test-short race-serve bench bench-check cover cover-serve

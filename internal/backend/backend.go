@@ -70,6 +70,14 @@ type Env struct {
 	Perf *perfmodel.Service
 	Hub  *hub.Hub
 	EMod energy.Model
+
+	// fcE memoizes the FC half of iterEnergy by micro-batch size: it is
+	// a pure function of the model and batch, but recomputing it walked
+	// the FC shape list on every decode iteration — the single hottest
+	// line of the serving fast-forward loop. An Env is single-goroutine
+	// like the stepper it rides with, so a plain slice suffices.
+	fcE   []energy.Breakdown
+	fcEOK []bool
 }
 
 // Stats aggregates the PIM-channel attention counters of one priced

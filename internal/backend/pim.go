@@ -332,17 +332,24 @@ func (p pimShared) iterEnergy(env *Env, cost StepCost, batch int) (attn, fc ener
 }
 
 // fcEnergy coarsely prices the FC phase of one iteration: DRAM reads of all
-// sharded weights plus MAC-array energy for the batched GEMM.
+// sharded weights plus MAC-array energy for the batched GEMM. The price is
+// pure in (model, batch), so it is memoized on the Env by batch size —
+// the FC shape walk otherwise ran once per decode iteration.
 func (pimShared) fcEnergy(env *Env, batch int) energy.Breakdown {
+	if batch < len(env.fcEOK) && env.fcEOK[batch] {
+		return env.fcE[batch]
+	}
 	m := env.Model
 	fcBytes := m.FCLayerWeightBytes() * int64(m.Layers)
 	macEquiv := fcBytes / int64(env.Dev.TileBytes*env.Dev.Banks) * int64(batch)
-	return energy.Breakdown{
+	v := energy.Breakdown{
 		MAC:        float64(macEquiv) * env.EMod.MACpJ,
 		IO:         float64(batch) * float64(m.DIn*m.Layers*m.ElemBytes) * env.EMod.IOpJPerByte,
 		Background: 0, // background power is attributed once, in AttnEnergy
 		Else:       float64(fcBytes) * env.EMod.DRAMReadpJPerByte,
 	}
+	env.fcE, env.fcEOK = memoPut(env.fcE, env.fcEOK, batch, v)
+	return v
 }
 
 // prefillFlops is the total prompt-processing work at a context length:

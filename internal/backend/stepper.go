@@ -26,6 +26,15 @@ type Stepper interface {
 	Step(ctx context.Context, batch []workload.Request, tokensOf TokensOf) (StepCost, error)
 }
 
+// SliceStepper is an optional Stepper fast path for callers that already
+// hold every request's token count in batch order: toks[i] is batch[i]'s
+// current KV length. It skips the per-request TokensOf indirection (a
+// closure call plus an ID lookup per request per iteration on the
+// serving fast-forward path) and must price identically to Step.
+type SliceStepper interface {
+	StepSlice(ctx context.Context, batch []workload.Request, toks []int) (StepCost, error)
+}
+
 // pimStepper is the incremental pricer shared by the PIM-attention
 // backends. attentionLayer re-derives the same structures on every
 // iteration: the mapping.Assign work lists — whose per-channel shape
@@ -55,10 +64,28 @@ type pimStepper struct {
 	baseline   bool
 	queries    int
 
-	lat     map[int]perfmodel.Latency // priceAttention by per-channel tokens
-	fcSec   map[int]float64           // FC cost by micro-batch size
-	syncSec map[int]float64           // TP all-reduce cost by micro-batch size
-	chSum   []timing.Cycles           // per-channel scratch
+	// The memo tables are dense slices indexed by their small integer
+	// keys (per-channel token counts, micro-batch sizes) with parallel
+	// validity bitmaps: the serving hot path hits them once per request
+	// per iteration, where a map lookup's hashing dominated the lookup.
+	lat     []perfmodel.Latency // priceAttention by per-channel tokens
+	latOK   []bool
+	fcSec   []float64 // FC cost by micro-batch size
+	fcOK    []bool
+	syncSec []float64 // TP all-reduce cost by micro-batch size
+	syncOK  []bool
+	chSum   []timing.Cycles // per-channel scratch
+	red     timing.Cycles   // Hub.ReduceCycles(channels, HeadDim), constant per system
+	redOK   bool
+	tokBuf  []int // batch-order token counts for the TokensOf entry point
+
+	// Softmax pricing constants hoisted out of Hub.SoftmaxCycles, which
+	// runs once per request per iteration: same arithmetic, no Device
+	// copy per call. (A per-token-count memo does not pay here — decode
+	// sweeps mostly-distinct token counts, so it never warms up.)
+	softEPT     int
+	softBase    timing.Cycles
+	softPerTile timing.Cycles
 }
 
 func newPIMStepper(env *Env, shared pimShared, fc fcFunc, combine combineFunc) *pimStepper {
@@ -69,15 +96,22 @@ func newPIMStepper(env *Env, shared pimShared, fc fcFunc, combine combineFunc) *
 		kvHeads: kvHeads, tokenShard: tokenShard,
 		tcp: env.Tech.TCP, sc: sc, baseline: baseline,
 		queries: env.Model.GQAGroup,
-		lat:     make(map[int]perfmodel.Latency),
-		fcSec:   make(map[int]float64),
-		syncSec: make(map[int]float64),
 		chSum:   make([]timing.Cycles, env.Dev.Channels),
+
+		softEPT:     env.Dev.ElemsPerTile(),
+		softBase:    env.Dev.EPUSoftmaxBase,
+		softPerTile: env.Dev.EPUSoftmaxPerTile,
 	}
 	if !s.tcp {
 		s.capTokens = shared.headCapacityTokens(env)
 	}
 	return s
+}
+
+// softmax is Hub.SoftmaxCycles with the device constants pre-resolved.
+func (s *pimStepper) softmax(scores int) timing.Cycles {
+	tiles := (scores + s.softEPT - 1) / s.softEPT
+	return s.softBase + timing.Cycles(tiles)*s.softPerTile
 }
 
 // Step implements Stepper.
@@ -88,128 +122,199 @@ func (s *pimStepper) Step(ctx context.Context, batch []workload.Request, tokensO
 		// keep the naive (already parallel) pricing.
 		return s.shared.step(ctx, s.env, batch, tokensOf, s.fc, s.combine)
 	}
-	at, err := s.attention(batch, tokensOf)
+	toks := s.tokBuf[:0]
+	for _, r := range batch {
+		toks = append(toks, tokensOf(r))
+	}
+	s.tokBuf = toks
+	return s.stepToks(toks)
+}
+
+// StepSlice implements SliceStepper.
+func (s *pimStepper) StepSlice(ctx context.Context, batch []workload.Request, toks []int) (StepCost, error) {
+	if s.env.PP != 1 {
+		pos := make(map[int]int, len(batch))
+		for i, r := range batch {
+			pos[r.ID] = i
+		}
+		return s.shared.step(ctx, s.env, batch,
+			func(r workload.Request) int { return toks[pos[r.ID]] }, s.fc, s.combine)
+	}
+	return s.stepToks(toks)
+}
+
+func (s *pimStepper) stepToks(toks []int) (StepCost, error) {
+	at, err := s.attention(toks)
 	if err != nil {
 		return StepCost{}, err
 	}
-	sec, stats, share := composeStage(s.env, at, s.fcCost(len(batch)), s.syncCost(len(batch)), s.combine)
+	sec, stats, share := composeStage(s.env, at, s.fcCost(len(toks)), s.syncCost(len(toks)), s.combine)
 	return StepCost{Seconds: sec, AttnShare: share, Stats: stats}, nil
 }
 
 func (s *pimStepper) fcCost(batch int) float64 {
-	if v, ok := s.fcSec[batch]; ok {
-		return v
+	if batch < len(s.fcOK) && s.fcOK[batch] {
+		return s.fcSec[batch]
 	}
 	v := s.fc(s.env, batch)
-	s.fcSec[batch] = v
+	s.fcSec, s.fcOK = memoPut(s.fcSec, s.fcOK, batch, v)
 	return v
 }
 
 func (s *pimStepper) syncCost(batch int) float64 {
-	if v, ok := s.syncSec[batch]; ok {
-		return v
+	if batch < len(s.syncOK) && s.syncOK[batch] {
+		return s.syncSec[batch]
 	}
 	v := float64(s.shared.syncCycles(s.env, batch)) / cyclesPerSecond
-	s.syncSec[batch] = v
+	s.syncSec, s.syncOK = memoPut(s.syncSec, s.syncOK, batch, v)
 	return v
 }
 
+// memoPut stores v at index k, growing the dense memo to fit.
+func memoPut[T any](vals []T, ok []bool, k int, v T) ([]T, []bool) {
+	if k >= len(vals) {
+		vals = append(vals, make([]T, k+1-len(vals))...)
+		ok = append(ok, make([]bool, k+1-len(ok))...)
+	}
+	vals[k] = v
+	ok[k] = true
+	return vals, ok
+}
+
 // price memoizes priceAttention for one per-channel token count (the
-// query count is the GQA group for every work of a batch).
-func (s *pimStepper) price(tokens int) (perfmodel.Latency, error) {
-	if l, ok := s.lat[tokens]; ok {
-		return l, nil
+// query count is the GQA group for every work of a batch). It returns
+// the memo index rather than the Latency value so hot callers read the
+// few fields they need in place instead of copying the whole struct;
+// the index stays valid across later price calls (only the slice header
+// moves on growth), but a *pointer* into s.lat would not.
+func (s *pimStepper) price(tokens int) (int, error) {
+	if tokens < len(s.latOK) && s.latOK[tokens] {
+		return tokens, nil
 	}
 	l, err := s.shared.priceAttention(s.env, tokens, s.env.Model.HeadDim, s.queries, s.baseline, s.sc)
 	if err != nil {
-		return perfmodel.Latency{}, err
+		return 0, err
 	}
-	s.lat[tokens] = l
-	return l, nil
+	s.lat, s.latOK = memoPut(s.lat, s.latOK, tokens, l)
+	return tokens, nil
 }
 
 // attention reproduces attentionLayer's per-layer Stats without
-// materializing the assignment.
-func (s *pimStepper) attention(reqs []workload.Request, tokensOf TokensOf) (Stats, error) {
+// materializing the assignment; toks holds each batch member's current
+// KV length.
+func (s *pimStepper) attention(toks []int) (Stats, error) {
 	env := s.env
 	channels := env.Dev.Channels
-	sums := s.chSum
-	for i := range sums {
-		sums[i] = 0
-	}
 	var st Stats
 	st.Channels = channels
 	if s.tcp {
 		// TCP slices every (request, head) token range evenly over all
-		// channels: rem channels carry base+1 tokens, the rest base.
-		for _, r := range reqs {
-			t := (tokensOf(r) + s.tokenShard - 1) / s.tokenShard
+		// channels: rem channels carry base+1 tokens, the rest base. The
+		// per-channel sums are never walked per request: a request adds
+		// C0 to every channel and (C1-C0) to channels below its rem, so
+		// sums[ch] = ΣC0 + Σ_{rem>ch}(C1-C0) — accumulate the common term
+		// and a rem-indexed delta histogram (all integer cycles, so the
+		// regrouping is exact) and fold the channel max in one sweep.
+		dd := s.chSum // zeroed by the previous sweep (or by make)
+		var base0, busy, softSum timing.Cycles
+		var macs, io, ap int64
+		heads := timing.Cycles(s.kvHeads)
+		kh := int64(s.kvHeads)
+		for _, tok := range toks {
+			t := tok
+			if s.tokenShard != 1 {
+				t = (tok + s.tokenShard - 1) / s.tokenShard
+			}
 			base, rem := t/channels, t%channels
-			var c0, c1 perfmodel.Latency
-			var err error
+			var cyc0, mac0, cyc1, mac1 timing.Cycles
+			var macs0, io0, ap0, macs1, io1, ap1 int64
 			if base > 0 {
-				if c0, err = s.price(base); err != nil {
+				i0, err := s.price(base)
+				if err != nil {
 					return Stats{}, err
 				}
+				l := &s.lat[i0]
+				cyc0, mac0, macs0, io0, ap0 = l.Cycles, l.Breakdown.MAC, l.MACs, l.IOBytes, l.ActPre
 			}
 			if rem > 0 {
-				if c1, err = s.price(base + 1); err != nil {
+				i1, err := s.price(base + 1)
+				if err != nil {
 					return Stats{}, err
 				}
+				l := &s.lat[i1]
+				cyc1, mac1, macs1, io1, ap1 = l.Cycles, l.Breakdown.MAC, l.MACs, l.IOBytes, l.ActPre
 			}
-			heads := timing.Cycles(s.kvHeads)
-			for ch := 0; ch < rem; ch++ {
-				sums[ch] += c1.Cycles * heads
-			}
-			if base > 0 {
-				for ch := rem; ch < channels; ch++ {
-					sums[ch] += c0.Cycles * heads
-				}
+			c0h := cyc0 * heads
+			base0 += c0h
+			if rem > 0 {
+				dd[rem] += cyc1*heads - c0h
 			}
 			n1 := int64(rem)
 			n0 := int64(channels - rem)
 			if base == 0 {
 				n0 = 0 // zero-token slices are not placed
 			}
-			kh := int64(s.kvHeads)
-			st.Busy += timing.Cycles((int64(c1.Breakdown.MAC)*n1 + int64(c0.Breakdown.MAC)*n0) * kh)
-			st.MACs += (c1.MACs*n1 + c0.MACs*n0) * kh
-			st.IOBytes += (c1.IOBytes*n1 + c0.IOBytes*n0) * kh
-			st.ActPre += (c1.ActPre*n1 + c0.ActPre*n0) * kh
+			busy += timing.Cycles((int64(mac1)*n1 + int64(mac0)*n0) * kh)
+			macs += (macs1*n1 + macs0*n0) * kh
+			io += (io1*n1 + io0*n0) * kh
+			ap += (ap1*n1 + ap0*n0) * kh
+			softSum += s.softmax(t)
 		}
-	} else {
-		// HFP places whole (request, head) tiles round-robin, force-split
-		// at the channel capacity — the same placement order Assign uses.
-		i := 0
-		place := func(tokens int) error {
-			c, err := s.price(tokens)
-			if err != nil {
-				return err
+		st.Busy, st.MACs, st.IOBytes, st.ActPre = busy, macs, io, ap
+		var maxCh, suffix timing.Cycles
+		for ch := channels - 1; ch >= 0; ch-- {
+			if v := base0 + suffix; v > maxCh {
+				maxCh = v
 			}
-			sums[i%channels] += c.Cycles
-			st.Busy += c.Breakdown.MAC
-			st.MACs += c.MACs
-			st.IOBytes += c.IOBytes
-			st.ActPre += c.ActPre
-			i++
-			return nil
+			suffix += dd[ch]
+			dd[ch] = 0
 		}
-		for _, r := range reqs {
-			t := (tokensOf(r) + s.tokenShard - 1) / s.tokenShard
-			for h := 0; h < s.kvHeads; h++ {
-				tt := t
-				if s.capTokens > 0 {
-					for tt > s.capTokens {
-						if err := place(s.capTokens); err != nil {
-							return Stats{}, err
-						}
-						tt -= s.capTokens
-					}
-				}
-				if tt > 0 {
-					if err := place(tt); err != nil {
+		st.Cycles = maxCh
+		qHeads := s.kvHeads * env.Model.GQAGroup
+		st.Cycles += softSum * timing.Cycles(qHeads) / epuLanes
+		if !s.redOK {
+			s.red = env.Hub.ReduceCycles(channels, env.Model.HeadDim)
+			s.redOK = true
+		}
+		st.Cycles += s.red * timing.Cycles(len(toks)*s.kvHeads) / epuLanes
+		return st, nil
+	}
+	sums := s.chSum
+	for i := range sums {
+		sums[i] = 0
+	}
+	// HFP places whole (request, head) tiles round-robin, force-split
+	// at the channel capacity — the same placement order Assign uses.
+	i := 0
+	place := func(tokens int) error {
+		idx, err := s.price(tokens)
+		if err != nil {
+			return err
+		}
+		c := &s.lat[idx]
+		sums[i%channels] += c.Cycles
+		st.Busy += c.Breakdown.MAC
+		st.MACs += c.MACs
+		st.IOBytes += c.IOBytes
+		st.ActPre += c.ActPre
+		i++
+		return nil
+	}
+	for _, tok := range toks {
+		t := (tok + s.tokenShard - 1) / s.tokenShard
+		for h := 0; h < s.kvHeads; h++ {
+			tt := t
+			if s.capTokens > 0 {
+				for tt > s.capTokens {
+					if err := place(s.capTokens); err != nil {
 						return Stats{}, err
 					}
+					tt -= s.capTokens
+				}
+			}
+			if tt > 0 {
+				if err := place(tt); err != nil {
+					return Stats{}, err
 				}
 			}
 		}
@@ -223,14 +328,10 @@ func (s *pimStepper) attention(reqs []workload.Request, tokensOf TokensOf) (Stat
 	st.Cycles = maxCh
 	var softmax timing.Cycles
 	qHeads := s.kvHeads * env.Model.GQAGroup
-	for _, r := range reqs {
-		softmax += env.Hub.SoftmaxCycles((tokensOf(r)+s.tokenShard-1)/s.tokenShard) * timing.Cycles(qHeads)
+	for _, tok := range toks {
+		softmax += s.softmax((tok+s.tokenShard-1)/s.tokenShard) * timing.Cycles(qHeads)
 	}
 	st.Cycles += softmax / epuLanes
-	if s.tcp {
-		red := env.Hub.ReduceCycles(channels, env.Model.HeadDim)
-		st.Cycles += red * timing.Cycles(len(reqs)*s.kvHeads) / epuLanes
-	}
 	return st, nil
 }
 

@@ -180,8 +180,10 @@ type System struct {
 	// stepper is the backend's memoizing iteration pricer (nil for
 	// backends without one); iterate routes every decode iteration
 	// through it so both the batch simulator and the serving engine
-	// price steps incrementally.
-	stepper backend.Stepper
+	// price steps incrementally. sliceStepper is its batch-order
+	// token-slice fast path, when the stepper offers one.
+	stepper      backend.Stepper
+	sliceStepper backend.SliceStepper
 }
 
 // New builds a simulator for a configuration.
@@ -203,6 +205,9 @@ func New(cfg Config) (*System, error) {
 	s := &System{cfg: cfg, be: be, env: env, adm: be.Admission(env)}
 	if inc, ok := be.(backend.Incremental); ok {
 		s.stepper = inc.NewStepper(env)
+		if ss, ok := s.stepper.(backend.SliceStepper); ok {
+			s.sliceStepper = ss
+		}
 	}
 	return s, nil
 }
@@ -478,6 +483,17 @@ func (s *System) iterate(ctx context.Context, batch []workload.Request, tokensOf
 		return s.stepper.Step(ctx, batch, tokensOf)
 	}
 	return s.be.Step(ctx, s.env, batch, tokensOf)
+}
+
+// iterateToks is iterate for callers that hold batch-order token counts:
+// it routes through the stepper's slice fast path when one exists and
+// falls back to the TokensOf seam otherwise.
+func (s *System) iterateToks(ctx context.Context, batch []workload.Request, toks []int, tokensOf backend.TokensOf) (backend.StepCost, error) {
+	if s.sliceStepper != nil {
+		simTokens.Add(int64(len(batch)))
+		return s.sliceStepper.StepSlice(ctx, batch, toks)
+	}
+	return s.iterate(ctx, batch, tokensOf)
 }
 
 // Run simulates a decode window over the given candidate requests and

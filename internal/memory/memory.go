@@ -81,6 +81,7 @@ type Static struct {
 	tmax          int
 	live          map[int]int64 // request -> live KV bytes
 	reservePer    int64
+	liveSum       int64 // Σ live, so LiveBytes is O(1) on the sampling path
 }
 
 // NewStatic builds a static allocator for a pool of the given capacity.
@@ -112,6 +113,7 @@ func (s *Static) Admit(reqID, tokens int) error {
 		return fmt.Errorf("memory: static pool full (%d reserved of %d)", s.ReservedBytes(), s.capacity)
 	}
 	s.live[reqID] = int64(tokens) * s.bytesPerToken
+	s.liveSum += s.live[reqID]
 	return nil
 }
 
@@ -129,15 +131,18 @@ func (s *Static) Grow(reqID, newTokens int) error {
 	if nb < cur {
 		return fmt.Errorf("memory: request %d shrank (%d -> %d tokens)", reqID, cur/s.bytesPerToken, newTokens)
 	}
+	s.liveSum += nb - cur
 	s.live[reqID] = nb
 	return nil
 }
 
 // Release implements Allocator.
 func (s *Static) Release(reqID int) error {
-	if _, ok := s.live[reqID]; !ok {
+	b, ok := s.live[reqID]
+	if !ok {
 		return fmt.Errorf("memory: request %d not admitted", reqID)
 	}
+	s.liveSum -= b
 	delete(s.live, reqID)
 	return nil
 }
@@ -171,13 +176,7 @@ func (s *Static) GrowBudget(reqIDs []int) int {
 }
 
 // LiveBytes implements Allocator.
-func (s *Static) LiveBytes() int64 {
-	var t int64
-	for _, b := range s.live {
-		t += b
-	}
-	return t
-}
+func (s *Static) LiveBytes() int64 { return s.liveSum }
 
 // ReservedBytes implements Allocator.
 func (s *Static) ReservedBytes() int64 { return int64(len(s.live)) * s.reservePer }
@@ -208,7 +207,19 @@ type DPA struct {
 	va2pa         map[int][]ChunkID // request -> virtual chunk order -> physical
 	liveTokens    map[int]int
 	hostMessages  int // host<->module allocation messages (Sec. VI-C)
+
+	// Running aggregates so LiveBytes/ReservedBytes are O(1) — the
+	// serving engine samples capacity on every leap, which made the map
+	// walks here a measurable share of the whole simulation.
+	liveTokSum int64 // Σ liveTokens
+	mappedSum  int64 // Σ len(va2pa[id])
+
+	// growScratch snapshots (liveTokens, mapped chunks) per request so
+	// GrowBudget's monotone probes walk a slice instead of two maps.
+	growScratch []growSnap
 }
+
+type growSnap struct{ live, have int }
 
 // NewDPA builds a DPA allocator with the given chunk granularity.
 func NewDPA(capacity, bytesPerToken, chunkBytes int64) (*DPA, error) {
@@ -254,6 +265,8 @@ func (d *DPA) Admit(reqID, tokens int) error {
 	}
 	d.va2pa[reqID] = d.pop(need)
 	d.liveTokens[reqID] = tokens
+	d.liveTokSum += int64(tokens)
+	d.mappedSum += int64(need)
 	d.hostMessages++ // initial VA2PA setup
 	return nil
 }
@@ -274,9 +287,15 @@ func (d *DPA) Grow(reqID, newTokens int) error {
 		if extra > len(d.freeList) {
 			return fmt.Errorf("memory: DPA pool exhausted growing request %d (need %d chunks, %d free)", reqID, extra, len(d.freeList))
 		}
-		d.va2pa[reqID] = append(d.va2pa[reqID], d.pop(extra)...)
+		// Append straight off the free-list tail (the same ascending IDs
+		// pop hands out) without materializing an intermediate slice.
+		tail := d.freeList[len(d.freeList)-extra:]
+		d.va2pa[reqID] = append(d.va2pa[reqID], tail...)
+		d.freeList = d.freeList[:len(d.freeList)-extra]
+		d.mappedSum += int64(extra)
 		d.hostMessages++ // one host message per chunk-allocation event
 	}
+	d.liveTokSum += int64(newTokens - cur)
 	d.liveTokens[reqID] = newTokens
 	return nil
 }
@@ -288,6 +307,8 @@ func (d *DPA) Release(reqID int) error {
 		return fmt.Errorf("memory: request %d not admitted", reqID)
 	}
 	d.freeList = append(d.freeList, chunks...)
+	d.mappedSum -= int64(len(chunks))
+	d.liveTokSum -= int64(d.liveTokens[reqID])
 	delete(d.va2pa, reqID)
 	delete(d.liveTokens, reqID)
 	d.hostMessages++
@@ -309,17 +330,23 @@ func (d *DPA) GrowBudget(reqIDs []int) int {
 	if len(reqIDs) == 0 {
 		return 0
 	}
+	// Snapshot each request's live tokens and mapped chunks once; the
+	// monotone probes below then walk a slice instead of two maps.
+	snap := d.growScratch[:0]
 	for _, id := range reqIDs {
-		if _, ok := d.liveTokens[id]; !ok {
+		live, ok := d.liveTokens[id]
+		if !ok {
 			return 0
 		}
+		snap = append(snap, growSnap{live: live, have: len(d.va2pa[id])})
 	}
+	d.growScratch = snap
 	free := len(d.freeList)
 	// Chunks the batch must allocate to grow n tokens per request.
 	need := func(n int) int {
 		total := 0
-		for _, id := range reqIDs {
-			total += d.chunksFor(d.liveTokens[id]+n) - len(d.va2pa[id])
+		for _, s := range snap {
+			total += d.chunksFor(s.live+n) - s.have
 		}
 		return total
 	}
@@ -349,22 +376,10 @@ func (d *DPA) GrowBudget(reqIDs []int) int {
 }
 
 // LiveBytes implements Allocator.
-func (d *DPA) LiveBytes() int64 {
-	var t int64
-	for _, tok := range d.liveTokens {
-		t += int64(tok) * d.bytesPerToken
-	}
-	return t
-}
+func (d *DPA) LiveBytes() int64 { return d.liveTokSum * d.bytesPerToken }
 
 // ReservedBytes implements Allocator.
-func (d *DPA) ReservedBytes() int64 {
-	var n int64
-	for _, chunks := range d.va2pa {
-		n += int64(len(chunks))
-	}
-	return n * d.chunkBytes
-}
+func (d *DPA) ReservedBytes() int64 { return d.mappedSum * d.chunkBytes }
 
 // CapacityBytes implements Allocator.
 func (d *DPA) CapacityBytes() int64 { return d.capacity }

@@ -79,16 +79,26 @@ func (tk *tracker) apply(res cluster.StepResult, r *replica) {
 		iters = append(iters, res.Seconds)
 		r.iterScratch = iters
 	}
+	// The clock accumulates iteration by iteration (the float addition
+	// order is what keeps leaps bit-identical to single stepping), but
+	// the per-request fold factors out: a leap has no mid-leap batch
+	// changes, so every Generated id gains exactly len(iters) tokens and
+	// a request's count can only reach one on the leap's first iteration.
 	end := r.clock
-	for _, d := range iters {
+	firstEnd := end
+	for i, d := range iters {
 		end += d
-		for _, id := range res.Generated {
-			rec := tk.recs[id]
-			rec.tokens++
-			if rec.tokens == 1 {
-				rec.first = end
-			}
+		if i == 0 {
+			firstEnd = end
 		}
+	}
+	n := len(iters)
+	for _, id := range res.Generated {
+		rec := tk.recs[id]
+		if rec.tokens == 0 {
+			rec.first = firstEnd
+		}
+		rec.tokens += n
 	}
 	for _, q := range res.Completed {
 		tk.recs[q.ID].done = end

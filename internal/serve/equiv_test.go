@@ -1,0 +1,186 @@
+// The simulation-equivalence suite: the serving spine (des.go) must
+// produce byte-identical reports across every axis that is supposed to
+// change only how fast the simulation runs, never what it computes —
+// synchronization discipline (barrier vs lazy destination-only
+// advancement), leap granularity (SingleStep, LeapHorizon), sweep
+// parallelism, and the push order of commuting equal-timestamp events.
+// The suite runs black-box through internal/simtest so the same
+// oracles serve the fuzz target and any future simulator front end.
+package serve_test
+
+import (
+	"context"
+	"testing"
+
+	"pimphony/internal/serve"
+	"pimphony/internal/simtest"
+	"pimphony/internal/sweep"
+	"pimphony/internal/timing"
+	"pimphony/internal/workload"
+)
+
+func mustRun(t *testing.T, cfg serve.Config, arr []workload.Arrival) *serve.Report {
+	t.Helper()
+	rep, err := serve.Run(context.Background(), cfg, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// fp runs a configuration, checks the report invariants, and returns
+// the equivalence fingerprint.
+func fp(t *testing.T, cfg serve.Config, arr []workload.Arrival) string {
+	t.Helper()
+	rep := mustRun(t, cfg, arr)
+	simtest.CheckInvariants(t, rep, arr)
+	return simtest.Fingerprint(rep)
+}
+
+// classicPolicies builds fresh instances of every routing policy
+// (policies may keep state, so each run needs its own).
+func classicPolicies() map[string]func() serve.Policy {
+	return map[string]func() serve.Policy{
+		"round-robin":  serve.RoundRobin,
+		"least-tokens": serve.LeastOutstandingTokens,
+		"session":      serve.SessionAffinity,
+	}
+}
+
+// TestClassicSpineEquivalence sweeps the backend × allocator grid with
+// every routing policy and pins, per cell: leap against single-step
+// advancement, the lazy destination-only discipline against the
+// barrier (via simtest.Opaque), and parallel against sequential
+// replica advancement.
+func TestClassicSpineEquivalence(t *testing.T) {
+	long, err := simtest.PoissonSchedule(16, 24, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := simtest.TightSchedule(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sysName := range simtest.SystemNames() {
+		arr := long
+		if sysName == "pim-tight" {
+			arr = tight // exercise the preemption/recompute path
+		}
+		for polName, mkPol := range classicPolicies() {
+			t.Run(sysName+"/"+polName, func(t *testing.T) {
+				mk := func(pol serve.Policy, single bool) string {
+					return fp(t, serve.Config{
+						System:     simtest.System(sysName),
+						Replicas:   2,
+						Policy:     pol,
+						SLO:        serve.SLO{TTFT: 1, TBT: 0.2},
+						SingleStep: single,
+					}, arr)
+				}
+				leap := mk(mkPol(), false)
+				if single := mk(mkPol(), true); single != leap {
+					t.Errorf("single-step diverged from leap advancement")
+				}
+				if barrier := mk(simtest.Opaque(mkPol()), false); barrier != leap {
+					t.Errorf("barrier discipline diverged from the spine's default")
+				}
+				prev := sweep.SetDefault(8)
+				par := mk(mkPol(), false)
+				sweep.SetDefault(prev)
+				if par != leap {
+					t.Errorf("parallel replica advancement diverged from sequential")
+				}
+			})
+		}
+	}
+}
+
+// TestFleetSpineEquivalence pins the fleet half of the spine across
+// every placement policy: horizon-clamped leaps, one-iteration
+// stepping, and tighter leap horizons must agree byte-for-byte while
+// migration and stealing fire.
+func TestFleetSpineEquivalence(t *testing.T) {
+	arr, err := simtest.TightSchedule(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, plName := range serve.PlacementNames() {
+		t.Run(plName, func(t *testing.T) {
+			mk := func(single bool, horizon int) string {
+				pl, err := serve.PlacementByName(plName)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return fp(t, serve.Config{
+					Fleet: []serve.ReplicaSpec{
+						{System: simtest.System("pim-dpa"), Count: 1, Role: serve.RolePrefill},
+						{System: simtest.System("pim-tight"), Count: 2, Role: serve.RoleDecode},
+					},
+					Interconnect: timing.DefaultInterconnect(),
+					Placement:    pl,
+					Migrate:      true,
+					Steal:        true,
+					SingleStep:   single,
+					LeapHorizon:  horizon,
+					SLO:          serve.SLO{TTFT: 1, TBT: 0.2},
+				}, arr)
+			}
+			leap := mk(false, 0)
+			if single := mk(true, 0); single != leap {
+				t.Errorf("single-step fleet diverged from leap advancement")
+			}
+			for _, horizon := range []int{1, 5} {
+				if clamped := mk(false, horizon); clamped != leap {
+					t.Errorf("LeapHorizon %d changed the fleet report", horizon)
+				}
+			}
+		})
+	}
+}
+
+// TestEqualTimestampPermutationInvariance is the metamorphic
+// event-order oracle: two arrivals at the same timestamp that route to
+// different replicas commute — swapping their push order permutes heap
+// sequence numbers but may not change a single timestamp. Session
+// affinity routes independently of arrival order, so the invariance is
+// checkable end to end.
+func TestEqualTimestampPermutationInvariance(t *testing.T) {
+	const replicas = 4
+	// Pick three session keys that hash to pairwise-distinct replicas,
+	// so the requests in each equal-time group never share a queue.
+	pol := serve.SessionAffinity()
+	probe := make([]serve.Load, replicas)
+	var sessions []int
+	seen := map[int]bool{}
+	for s := 0; len(sessions) < 3 && s < 256; s++ {
+		idx := pol.Pick(workload.Arrival{Session: s}, probe)
+		if !seen[idx] {
+			seen[idx] = true
+			sessions = append(sessions, s)
+		}
+	}
+	if len(sessions) < 3 {
+		t.Fatal("could not find three sessions with distinct replicas")
+	}
+	gen := workload.NewGenerator(workload.QMSum(), 11)
+	gen.DecodeLen = 6
+	var arr []workload.Arrival
+	for g := 0; g < 5; g++ {
+		at := 0.01 * float64(g)
+		for _, s := range sessions {
+			arr = append(arr, workload.Arrival{Req: gen.Next(), At: at, Session: s})
+		}
+	}
+	// Rotate each equal-time group: (a b c) -> (b c a).
+	perm := append([]workload.Arrival(nil), arr...)
+	for g := 0; g < len(perm); g += 3 {
+		perm[g], perm[g+1], perm[g+2] = perm[g+1], perm[g+2], perm[g]
+	}
+	cfg := func() serve.Config {
+		return serve.Config{System: simtest.System("pim-dpa"), Replicas: replicas,
+			Policy: serve.SessionAffinity(), SLO: serve.SLO{TTFT: 1, TBT: 0.2}}
+	}
+	if a, b := fp(t, cfg(), arr), fp(t, cfg(), perm); a != b {
+		t.Error("permuting commuting equal-timestamp arrivals changed the report")
+	}
+}

@@ -27,21 +27,21 @@
 //     zero-progress request from the most backlogged replica, paying
 //     the prompt-KV transfer.
 //
-// The simulation is the same event-driven discipline as the classic
-// path: replicas advance their own clocks via the tracker, and a global
-// event (arrival, handoff completion, migration/steal landing) is
-// dispatched only once every busy replica has simulated up to it, with
-// Engine.SetHorizon bounding how far one leap can overshoot. Everything
-// is deterministic, and the fleet loop is internally sequential —
-// tables over fleets sweep across grid points, not inside one run — so
-// fleet tables are byte-identical at any sweep parallelism.
+// The simulation runs on the shared discrete-event spine (des.go)
+// under the interleaved discipline: replicas advance their own clocks
+// via the tracker one engine call at a time in global clock order, and
+// a global event (arrival, handoff completion, migration/steal
+// landing) is dispatched only once every busy replica has simulated up
+// to it, with Engine.SetHorizon bounding how far one leap can
+// overshoot. Everything is deterministic, and the fleet loop is
+// internally sequential — tables over fleets sweep across grid points,
+// not inside one run — so fleet tables are byte-identical at any sweep
+// parallelism.
 package serve
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
-	"math"
 
 	"pimphony/internal/cluster"
 	"pimphony/internal/timing"
@@ -149,49 +149,6 @@ type FleetStats struct {
 	JoulesPerToken float64
 }
 
-// Fleet event kinds, in dispatch-priority order for equal timestamps
-// (ties break by push sequence, so FIFO within a kind).
-const (
-	evArrive = iota
-	// evHandoff: a prompt prefill finished and (for disaggregated
-	// fleets) its KV landed; the request is ready to decode.
-	evHandoff
-	// evResume: a migrated or stolen request's KV landed on its
-	// destination replica.
-	evResume
-)
-
-// fleetEvent is one scheduled global event.
-type fleetEvent struct {
-	at   float64
-	seq  int // push order; breaks timestamp ties deterministically
-	kind int
-	rec  *record
-	gen  int // evResume: tokens already generated (migration progress)
-	dst  int // target decoder index; -1 = placement decides at dispatch
-}
-
-// eventQueue is a min-heap on (at, seq).
-type eventQueue []*fleetEvent
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*fleetEvent)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
-}
-
 // prefillServer is a dense prompt-processing engine with a FIFO busy
 // window: requests serialize on it, each charged the system's
 // PrefillSeconds.
@@ -237,30 +194,26 @@ type heldReq struct {
 	needsPrefill bool
 }
 
-// fleetSim drives one fleet simulation.
+// fleetSim drives one fleet simulation: the shared discrete-event
+// spine under the interleaved discipline, plus the global scheduler
+// state (placement, held queue, in-flight transfers).
 type fleetSim struct {
-	tracker
+	spine
 	cfg       Config
 	ic        timing.Interconnect
 	placement Placement
 	decoders  []*fleetReplica
 	prefills  []*prefillServer
-	events    eventQueue
-	seq       int
 	held      []heldReq
 	// incoming counts KV transfers in flight toward each decoder, so
 	// stealing never targets a replica that already has work landing.
 	incoming []int
 	stats    FleetStats
 	bpt      int64 // KV bytes per token (uniform across the fleet)
-	// clock is the scheduler's notion of now: the latest dispatched
-	// event time, raised during drain to the slowest busy replica.
-	clock float64
 }
 
 func newFleetSim(cfg Config, n int) (*fleetSim, error) {
 	fs := &fleetSim{
-		tracker:   tracker{recs: make(map[int]*record, n), singleStep: cfg.SingleStep},
 		cfg:       cfg,
 		ic:        cfg.Interconnect,
 		placement: cfg.Placement,
@@ -302,6 +255,17 @@ func newFleetSim(cfg Config, n int) (*fleetSim, error) {
 	}
 	fs.bpt = bpt
 	fs.incoming = make([]int, len(fs.decoders))
+	reps := make([]*replica, len(fs.decoders))
+	for i, d := range fs.decoders {
+		reps[i] = &d.replica
+	}
+	fs.spine = spine{
+		tracker:  tracker{recs: make(map[int]*record, n), singleStep: cfg.SingleStep},
+		replicas: reps,
+		sync:     syncInterleaved,
+		readyGen: make([]int, len(reps)),
+		sched:    fs,
+	}
 	return fs, nil
 }
 
@@ -320,143 +284,56 @@ func runFleet(ctx context.Context, cfg Config, arrivals []workload.Arrival) (*Re
 		}
 		rec := &record{req: a.Req, arrival: a.At, replica: -1}
 		fs.recs[a.Req.ID] = rec
-		fs.push(evArrive, rec, 0, -1, a.At)
+		fs.pushArrival(rec, a)
 	}
-	if err := fs.run(ctx); err != nil {
+	if err := fs.spine.run(ctx); err != nil {
 		return nil, err
 	}
 	return fs.report(arrivals)
 }
 
-func (fs *fleetSim) push(kind int, rec *record, gen, dst int, at float64) {
-	fs.seq++
-	heap.Push(&fs.events, &fleetEvent{at: at, seq: fs.seq, kind: kind, rec: rec, gen: gen, dst: dst})
-}
-
-// busyCount reports how many decoders still hold work.
-func (fs *fleetSim) busyCount() int {
-	n := 0
-	for _, d := range fs.decoders {
-		if !d.eng.Idle() {
-			n++
-		}
-	}
-	return n
-}
-
-// syncIdle jumps idle decoders' clocks forward to t (never backward).
-func (fs *fleetSim) syncIdle(t float64) {
-	for _, d := range fs.decoders {
-		if d.eng.Idle() && d.clock < t {
-			d.clock = t
-		}
-	}
-}
-
-// run is the global scheduling loop, organised as a discrete-event
-// simulation over decoder iteration boundaries: always advance the
-// lagging busy decoder, one engine call at a time, bounded by both the
-// earliest pending event and the next-lagging decoder's clock. The
-// second bound is what makes the loop exact at any leap granularity —
-// a replica never simulates past a point where a slower replica may
-// still create an event (a preemption becoming a migration, a
-// completion freeing headroom), so every scheduler decision observes
-// every decoder at the same iteration boundary whether the engines
-// single-step or leap. Scheduler state (queue admission, pending work,
-// KV release) only changes at engine-call boundaries and event
-// dispatches, so placement and stealing are re-evaluated exactly there.
-func (fs *fleetSim) run(ctx context.Context) error {
-	for {
-		if fs.events.Len() == 0 && fs.busyCount() == 0 {
-			if len(fs.held) == 0 {
-				return nil
-			}
-			n := len(fs.held)
-			fs.placeHeld(fs.clock)
-			if len(fs.held) == n {
-				return fmt.Errorf("serve: %d requests held with no fleet replica able to admit them", n)
-			}
-			continue
-		}
-		target := math.Inf(1)
-		if fs.events.Len() > 0 {
-			target = fs.events[0].at
-		}
-		if d, until := fs.pickLagging(target); d != nil {
-			if err := fs.engineCall(ctx, d, until); err != nil {
-				return err
-			}
-			fs.placeHeld(d.clock)
-			fs.trySteal(d.clock)
-			continue
-		}
-		// Every busy decoder has reached the earliest event: dispatch it.
-		e := heap.Pop(&fs.events).(*fleetEvent)
-		if e.at > fs.clock {
-			fs.clock = e.at
-		}
-		fs.syncIdle(e.at)
-		if err := fs.dispatch(e); err != nil {
-			return err
-		}
-		fs.placeHeld(e.at)
-		fs.trySteal(e.at)
-	}
-}
-
-// pickLagging returns the busy decoder with the earliest clock still
-// behind target (ties to the lowest index), plus the bound for its next
-// engine call: the earliest event time or the next-lagging busy
-// decoder's clock, whichever comes first.
-func (fs *fleetSim) pickLagging(target float64) (*fleetReplica, float64) {
-	var d *fleetReplica
-	for _, o := range fs.decoders {
-		if o.eng.Idle() || o.clock >= target {
-			continue
-		}
-		if d == nil || o.clock < d.clock {
-			d = o
-		}
-	}
-	if d == nil {
-		return nil, 0
-	}
-	until := target
-	for _, o := range fs.decoders {
-		if o == d || o.eng.Idle() {
-			continue
-		}
-		if o.clock < until {
-			until = o.clock
-		}
-	}
-	return d, until
-}
-
-// engineCall advances one decoder by a single (horizon-clamped) engine
-// call toward t, then lets the scheduler react to any preemptions the
-// step produced.
-func (fs *fleetSim) engineCall(ctx context.Context, d *fleetReplica, t float64) error {
-	res, err := fs.step(ctx, &d.replica, t)
-	if err != nil {
-		return err
-	}
+// onStep reacts to one decoder engine call: any preemptions the step
+// produced become migration candidates.
+func (fs *fleetSim) onStep(di int, res cluster.StepResult) error {
 	if len(res.Preempted) == 0 || !fs.cfg.Migrate || !fs.ic.Usable() {
 		return nil
 	}
 	for _, v := range res.Preempted {
-		if err := fs.considerMigration(d, v); err != nil {
+		if err := fs.considerMigration(di, v); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// react runs at every engine-call and dispatch boundary: retry the
+// held queue against freed headroom, then let idle decoders steal.
+func (fs *fleetSim) react(now float64) error {
+	fs.placeHeld(now)
+	fs.trySteal(now)
+	return nil
+}
+
+// idleWork retries the held queue once the fleet is fully drained; a
+// held request that still fits nowhere is a permanent stall.
+func (fs *fleetSim) idleWork() (bool, error) {
+	if len(fs.held) == 0 {
+		return false, nil
+	}
+	n := len(fs.held)
+	fs.placeHeld(fs.clock)
+	if len(fs.held) == n {
+		return false, fmt.Errorf("serve: %d requests held with no fleet replica able to admit them", n)
+	}
+	return true, nil
+}
+
 // considerMigration decides a preempted request's fate: move its live
 // KV to another replica if the transfer is cheaper than the recompute
 // re-admission would charge here, otherwise leave it queued for the
 // recompute path.
-func (fs *fleetSim) considerMigration(d *fleetReplica, v workload.Request) error {
+func (fs *fleetSim) considerMigration(di int, v workload.Request) error {
+	d := fs.decoders[di]
 	gen := d.eng.Progress(v.ID)
 	kvTokens := v.Context + gen
 	bytes := int64(kvTokens) * fs.bpt
@@ -467,7 +344,7 @@ func (fs *fleetSim) considerMigration(d *fleetReplica, v workload.Request) error
 	dst := -1
 	var bestFree int64 = -1
 	for i, o := range fs.decoders {
-		if o == d || !o.eng.HasHeadroom(v) {
+		if i == di || !o.eng.HasHeadroom(v) {
 			continue
 		}
 		if free := o.eng.FreeKVBytes(); free > bestFree {
@@ -484,14 +361,14 @@ func (fs *fleetSim) considerMigration(d *fleetReplica, v workload.Request) error
 	fs.stats.TransferBytes += bytes
 	fs.stats.TransferSeconds += transfer
 	fs.incoming[dst]++
-	fs.push(evResume, fs.recs[v.ID], gen, dst, d.clock+transfer)
+	fs.push(evMigrated, fs.recs[v.ID], gen, dst, d.clock+transfer)
 	return nil
 }
 
 // dispatch applies one global event at its timestamp.
-func (fs *fleetSim) dispatch(e *fleetEvent) error {
+func (fs *fleetSim) dispatch(_ context.Context, e *event) error {
 	switch e.kind {
-	case evArrive:
+	case evArrival:
 		return fs.routeArrival(e)
 	case evHandoff:
 		if e.dst >= 0 {
@@ -504,12 +381,16 @@ func (fs *fleetSim) dispatch(e *fleetEvent) error {
 		fs.held = append(fs.held, heldReq{rec: e.rec})
 		fs.stats.Held++
 		return nil
-	case evResume:
+	case evMigrated, evStolen:
 		fs.incoming[e.dst]--
 		e.rec.replica = e.dst
-		return fs.decoders[e.dst].eng.EnqueueResumed(e.rec.req, e.gen)
+		if err := fs.decoders[e.dst].eng.EnqueueResumed(e.rec.req, e.gen); err != nil {
+			return err
+		}
+		fs.wake(e.dst)
+		return nil
 	default:
-		return fmt.Errorf("serve: unknown fleet event kind %d", e.kind)
+		return fmt.Errorf("serve: unknown fleet event kind %d", int(e.kind))
 	}
 }
 
@@ -519,7 +400,7 @@ func (fs *fleetSim) dispatch(e *fleetEvent) error {
 // deferred to landing time; in a unified fleet placement happens now —
 // the prompt KV is built where the request will decode — and a held
 // request owes its prefill once placed.
-func (fs *fleetSim) routeArrival(e *fleetEvent) error {
+func (fs *fleetSim) routeArrival(e *event) error {
 	rec := e.rec
 	if len(fs.prefills) > 0 {
 		p := fs.pickPrefill()
@@ -586,7 +467,11 @@ func (fs *fleetSim) place(r workload.Request) int {
 // enqueueOn commits a prefilled request to a decoder's queue.
 func (fs *fleetSim) enqueueOn(dst int, rec *record) error {
 	rec.replica = dst
-	return fs.decoders[dst].eng.Enqueue(rec.req)
+	if err := fs.decoders[dst].eng.Enqueue(rec.req); err != nil {
+		return err
+	}
+	fs.wake(dst)
+	return nil
 }
 
 // placeHeld retries the global queue in FIFO order, stopping at the
@@ -646,8 +531,21 @@ func (fs *fleetSim) trySteal(now float64) {
 			continue
 		}
 		s := fs.decoders[src]
-		r, ok := s.eng.StealNewest()
+		r, ok := s.eng.PeekStealable()
 		if !ok {
+			continue
+		}
+		// Livelock guard, checked while the request is still queued: a
+		// thief may only steal what it can admit. Without the check, a
+		// busy source with exactly one queued request keeps losing it to
+		// an idle replica whose KV budget cannot hold it — the request
+		// then sits in the thief's queue with the thief's clock frozen,
+		// re-examined at the same timestamp forever, while the source
+		// would have admitted it as soon as its batch shrank.
+		if !d.eng.HasHeadroom(r) {
+			continue
+		}
+		if r2, ok := s.eng.StealNewest(); !ok || r2.ID != r.ID {
 			continue
 		}
 		bytes := int64(r.Context) * fs.bpt
@@ -660,7 +558,7 @@ func (fs *fleetSim) trySteal(now float64) {
 		fs.stats.TransferBytes += bytes
 		fs.stats.TransferSeconds += transfer
 		fs.incoming[di]++
-		fs.push(evResume, fs.recs[r.ID], 0, di, at+transfer)
+		fs.push(evStolen, fs.recs[r.ID], 0, di, at+transfer)
 	}
 }
 

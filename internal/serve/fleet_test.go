@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 	"reflect"
+	"strings"
 	"testing"
 
 	"pimphony/internal/cluster"
@@ -204,6 +205,81 @@ func TestFleetStealDrainsBacklog(t *testing.T) {
 	}
 	if with.PerReplica[1].Tokens == 0 {
 		t.Error("thief decoded nothing")
+	}
+}
+
+// starvedSystem is testSystem with a KV budget below one tinyArrivals
+// request's serving horizon (3016 tokens need ~1508 MiB at 512 KiB per
+// token): the replica is a valid fleet member but can never admit one
+// of those requests.
+func starvedSystem() cluster.Config {
+	cfg := testSystem()
+	cfg.KVBudgetBytes = 1024 << 20
+	return cfg
+}
+
+// TestStealSkipsUnadmittableThief is the livelock-guard regression: a
+// busy source holding exactly one queued request next to an idle
+// replica whose KV budget cannot admit it. Without the destination
+// headroom check in trySteal, the thief steals the request anyway, it
+// lands in a queue it can never leave, and the thief's clock freezes —
+// the spine re-examines it at the same timestamp forever. The pinned
+// trace: zero steals, zero transfers, both requests decoded serially on
+// the source, the starved replica untouched.
+func TestStealSkipsUnadmittableThief(t *testing.T) {
+	source := testSystem()
+	source.MaxBatch = 1 // admit one, queue the other: the steal bait
+	rep := run(t, Config{
+		Fleet: []ReplicaSpec{
+			{System: source, Count: 1, Role: RoleUnified},
+			{System: starvedSystem(), Count: 1, Role: RoleUnified},
+		},
+		Interconnect: timing.DefaultInterconnect(),
+		Placement:    pinFirst{},
+		Steal:        true,
+		SLO:          SLO{TTFT: 10, TBT: 1},
+	}, tinyArrivals(2))
+	fl := rep.Fleet
+	trace := [5]int{fl.Steals, fl.Migrations, fl.Held, rep.PerReplica[0].Requests, rep.PerReplica[1].Requests}
+	if want := [5]int{0, 0, 0, 2, 0}; trace != want {
+		t.Errorf("event trace [steals migrations held src-reqs thief-reqs] = %v, want %v", trace, want)
+	}
+	if fl.TransferBytes != 0 || fl.TransferSeconds != 0 {
+		t.Errorf("skipped steal still priced a transfer: %d bytes, %g s", fl.TransferBytes, fl.TransferSeconds)
+	}
+	if rep.Requests != 2 {
+		t.Errorf("served %d of 2", rep.Requests)
+	}
+}
+
+// pinSecond funnels everything to replica 1 whether it fits or not — a
+// misbehaving custom placement, used to prove a request queued on a
+// replica that can never admit it fails loudly instead of spinning.
+type pinSecond struct{}
+
+func (pinSecond) Name() string                                { return "pin-second" }
+func (pinSecond) Place(_ workload.Request, _ []FleetLoad) int { return 1 }
+
+// TestSpineStallIsLoud: a request queued on a replica that can never
+// admit it (the failure mode the steal guard prevents) must surface as
+// an error naming the unservable request — the engine rejects it at the
+// first step, and the spine's stall guard backstops any future
+// admission path that defers the rejection — never as a silent spin.
+func TestSpineStallIsLoud(t *testing.T) {
+	_, err := Run(context.Background(), Config{
+		Fleet: []ReplicaSpec{
+			{System: testSystem(), Count: 1, Role: RoleUnified},
+			{System: starvedSystem(), Count: 1, Role: RoleUnified},
+		},
+		Interconnect: timing.DefaultInterconnect(),
+		Placement:    pinSecond{},
+		SLO:          SLO{TTFT: 10, TBT: 1},
+	}, tinyArrivals(1))
+	if err == nil {
+		t.Fatal("misplacing onto a replica that can never admit should error")
+	}
+	if !strings.Contains(err.Error(), "does not fit") && !strings.Contains(err.Error(), "stalled") {
+		t.Errorf("stall error does not name the unservable request: %v", err)
 	}
 }
 

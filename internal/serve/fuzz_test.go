@@ -1,0 +1,137 @@
+// FuzzDESSchedule drives the discrete-event spine with randomized
+// (seed, arrival-mix, fleet-shape) tuples and asserts the DES invariant
+// set on every input:
+//
+//   - the spine's own always-on checks (des.go): no event fires behind
+//     the scheduler clock, a ready entry fires exactly at its replica's
+//     clock, and a ready replica is never starved (a drained heap with
+//     busy replicas, or a stalled replica, is a loud error);
+//   - the report oracles (simtest.CheckInvariants): conservation of
+//     requests and tokens, latency clock order, capacity bounds;
+//   - simulation equivalence: leap and single-step advancement, the
+//     lazy and barrier disciplines, and tight leap horizons must agree
+//     byte-for-byte — and if one discipline rejects an input, all must.
+package serve_test
+
+import (
+	"context"
+	"testing"
+
+	"pimphony/internal/serve"
+	"pimphony/internal/simtest"
+	"pimphony/internal/timing"
+	"pimphony/internal/workload"
+)
+
+// fuzzSchedule expands a seed and mix byte into a bounded arrival
+// schedule: up to 12 requests, contexts up to 2 Ki tokens, short
+// generations, bursty timestamps with deliberate equal-time collisions.
+func fuzzSchedule(seed uint64, nn, mix uint8) []workload.Arrival {
+	n := 1 + int(nn)%12
+	s := seed | 1
+	next := func(m int) int {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return int(s % uint64(m))
+	}
+	maxCtx := 4 << (int(mix) % 10) // 4 .. 2048
+	arr := make([]workload.Arrival, n)
+	at := 0.0
+	for i := range arr {
+		// Half the deltas are zero, so equal-timestamp events are the
+		// common case, not the rare one.
+		if d := next(100); d >= 50 {
+			at += float64(d-50) * 0.002
+		}
+		arr[i] = workload.Arrival{
+			At:      at,
+			Session: next(4),
+			Req: workload.Request{
+				ID:      i + 1,
+				Context: 1 + next(maxCtx),
+				Decode:  1 + next(32),
+			},
+		}
+	}
+	return arr
+}
+
+// runVariant runs one configuration, tolerating a rejected input: the
+// fuzzer may assemble configurations the validator refuses, which is
+// fine as long as every equivalent variant refuses them identically.
+func runVariant(t *testing.T, cfg serve.Config, arr []workload.Arrival) (string, bool) {
+	t.Helper()
+	rep, err := serve.Run(context.Background(), cfg, arr)
+	if err != nil {
+		return err.Error(), false
+	}
+	simtest.CheckInvariants(t, rep, arr)
+	return simtest.Fingerprint(rep), true
+}
+
+func FuzzDESSchedule(f *testing.F) {
+	f.Add(uint64(1), uint8(4), uint8(0), uint8(0))
+	f.Add(uint64(42), uint8(8), uint8(3), uint8(5))
+	f.Add(uint64(7), uint8(11), uint8(9), uint8(255))
+	f.Add(uint64(0xdeadbeef), uint8(12), uint8(7), uint8(42))
+	f.Fuzz(func(t *testing.T, seed uint64, nn, mix, shape uint8) {
+		arr := fuzzSchedule(seed, nn, mix)
+
+		// Classic path: replicas 1..3, load-oblivious and load-aware
+		// policies, across leap granularity and both disciplines.
+		replicas := 1 + int(shape)%3
+		classic := func(pol serve.Policy, single bool) serve.Config {
+			return serve.Config{
+				System:     simtest.System("pim-dpa"),
+				Replicas:   replicas,
+				Policy:     pol,
+				SLO:        serve.SLO{TTFT: 1, TBT: 0.2},
+				SingleStep: single,
+			}
+		}
+		pol := func() serve.Policy {
+			if shape&4 != 0 {
+				return serve.SessionAffinity()
+			}
+			return serve.RoundRobin()
+		}
+		leap, okLeap := runVariant(t, classic(pol(), false), arr)
+		single, okSingle := runVariant(t, classic(pol(), true), arr)
+		barrier, okBarrier := runVariant(t, classic(simtest.Opaque(pol()), false), arr)
+		if okLeap != okSingle || okLeap != okBarrier || leap != single || leap != barrier {
+			t.Errorf("classic variants diverged:\n leap    (%v) %s\n single  (%v) %s\n barrier (%v) %s",
+				okLeap, leap, okSingle, single, okBarrier, barrier)
+		}
+
+		// Fleet path: 1..2 decoders, optionally a dedicated prefill
+		// tier, with migration and stealing on, across leap horizons.
+		fleet := func(single bool, horizon int) serve.Config {
+			specs := []serve.ReplicaSpec{
+				{System: simtest.System("pim-dpa"), Count: 1 + (int(shape)>>3)%2, Role: serve.RoleUnified},
+			}
+			if shape&64 != 0 {
+				specs = []serve.ReplicaSpec{
+					{System: simtest.System("pim-dpa"), Count: 1, Role: serve.RolePrefill},
+					{System: simtest.System("pim-dpa"), Count: 1 + (int(shape)>>3)%2, Role: serve.RoleDecode},
+				}
+			}
+			return serve.Config{
+				Fleet:        specs,
+				Interconnect: timing.DefaultInterconnect(),
+				Migrate:      shape&16 != 0,
+				Steal:        shape&32 != 0,
+				SingleStep:   single,
+				LeapHorizon:  horizon,
+				SLO:          serve.SLO{TTFT: 1, TBT: 0.2},
+			}
+		}
+		fLeap, okF := runVariant(t, fleet(false, 0), arr)
+		fSingle, okFS := runVariant(t, fleet(true, 0), arr)
+		fTight, okFT := runVariant(t, fleet(false, 1), arr)
+		if okF != okFS || okF != okFT || fLeap != fSingle || fLeap != fTight {
+			t.Errorf("fleet variants diverged:\n leap      (%v) %s\n single    (%v) %s\n horizon 1 (%v) %s",
+				okF, fLeap, okFS, fSingle, okFT, fTight)
+		}
+	})
+}

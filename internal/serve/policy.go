@@ -29,6 +29,18 @@ type Policy interface {
 	Pick(a workload.Arrival, loads []Load) int
 }
 
+// LoadOblivious marks a Policy whose Pick reads nothing from the loads
+// slice beyond its length. The serving spine exploits the marker: a
+// routing decision that observes no replica state needs no replica
+// synchronized, so only the destination is advanced to the arrival
+// time and the rest keep simulating in larger leaps (des.go). Reports
+// are byte-identical either way — the equivalence suite pins it — so
+// the marker is purely a performance contract; implement it only if
+// Pick truly never inspects a Load.
+type LoadOblivious interface {
+	LoadOblivious()
+}
+
 // RoundRobin cycles through replicas in arrival order, the baseline
 // load-oblivious policy.
 func RoundRobin() Policy { return &roundRobin{} }
@@ -36,6 +48,10 @@ func RoundRobin() Policy { return &roundRobin{} }
 type roundRobin struct{ next int }
 
 func (p *roundRobin) Name() string { return "round-robin" }
+
+// LoadOblivious marks round-robin for destination-only advancement: it
+// cycles by arrival order alone.
+func (p *roundRobin) LoadOblivious() {}
 
 func (p *roundRobin) Pick(_ workload.Arrival, loads []Load) int {
 	i := p.next % len(loads)
@@ -70,6 +86,10 @@ func SessionAffinity() Policy { return sessionAffinity{} }
 type sessionAffinity struct{}
 
 func (sessionAffinity) Name() string { return "session" }
+
+// LoadOblivious marks session affinity for destination-only
+// advancement: it hashes the session key alone.
+func (sessionAffinity) LoadOblivious() {}
 
 func (sessionAffinity) Pick(a workload.Arrival, loads []Load) int {
 	h := fnv.New32a()

@@ -6,15 +6,16 @@
 // end-to-end latency at p50/p95/p99, plus goodput (decode tokens per
 // second from requests that met the SLO).
 //
-// The simulation is event-driven: each replica advances its own clock
-// by the duration of its decode iterations, and an arrival is routed
-// only after every replica has simulated up to the arrival time, so
-// load-aware policies observe the queue state a real load balancer
-// would. Between events a replica does not step one iteration at a
-// time — cluster.Engine.Leap fast-forwards a stable batch through its
-// analytically computed event horizon in one call, and independent
-// replicas advance concurrently through internal/sweep — but both
-// optimizations are exact: every per-token timestamp, and therefore
+// The simulation is a discrete-event simulation on the shared spine
+// (des.go): each replica advances its own clock by the duration of its
+// decode iterations, and an arrival is routed only after every replica
+// whose state the policy observes has simulated up to the arrival time
+// — all of them for a load-aware policy, only the destination for a
+// LoadOblivious one. Between events a replica does not step one
+// iteration at a time — cluster.Engine.Leap fast-forwards a stable
+// batch through its analytically computed event horizon in one call,
+// and independent replicas advance concurrently through
+// internal/sweep — but every optimization is exact: every per-token timestamp, and therefore
 // every report, is bit-identical to the naive single-stepped
 // sequential loop (Config.SingleStep pins this in tests). Everything
 // is deterministic — same arrival schedule, same configuration, same
@@ -43,7 +44,6 @@ import (
 	"sort"
 
 	"pimphony/internal/cluster"
-	"pimphony/internal/sweep"
 	"pimphony/internal/timing"
 	"pimphony/internal/workload"
 )
@@ -250,28 +250,54 @@ type Report struct {
 	Fleet *FleetStats
 }
 
-// sim is the in-flight simulation state of the load-balanced path: the
-// shared advancement tracker plus the identical replicas the Policy
-// routes over.
+// sim is the load-balanced path on the discrete-event spine: identical
+// replicas, a Policy routing arrivals, and a synchronization discipline
+// chosen by what the policy observes — a load-aware policy needs every
+// replica advanced to the arrival time (syncBarrier), a LoadOblivious
+// one only the destination (syncLazy).
 type sim struct {
-	cfg Config
-	tracker
-	replicas []*replica
+	spine
+	cfg  Config
+	lazy bool
 }
 
-// advanceAll advances every replica up to time t. Replicas share no
-// state, and arrivals are routed only after every replica has reached
-// t, so advancing them concurrently through the sweep engine leaves
-// every load snapshot — and therefore every table — byte-identical to
-// the sequential loop at any parallelism.
-func (s *sim) advanceAll(ctx context.Context, t float64) error {
-	if len(s.replicas) == 1 {
-		return s.advance(ctx, s.replicas[0], t)
+// onStep and idleWork are no-ops: the load balancer reacts to nothing
+// between arrivals, and a drained schedule leaves no deferred work.
+func (s *sim) onStep(int, cluster.StepResult) error { return nil }
+func (s *sim) react(float64) error                  { return nil }
+func (s *sim) idleWork() (bool, error)              { return false, nil }
+
+// dispatch routes one arrival: snapshot every replica's load (barrier
+// mode — the spine has already advanced them all to e.at) or none of
+// them (lazy mode — only the destination is advanced, here), ask the
+// Policy, and enqueue.
+func (s *sim) dispatch(ctx context.Context, e *event) error {
+	loads := make([]Load, len(s.replicas))
+	if !s.lazy {
+		for j, r := range s.replicas {
+			loads[j] = Load{
+				OutstandingTokens: r.eng.OutstandingTokens(),
+				Active:            r.eng.Active(),
+				Pending:           r.eng.Pending(),
+				Clock:             r.clock,
+			}
+		}
 	}
-	_, err := sweep.Run(ctx, s.replicas, func(ctx context.Context, r *replica) (struct{}, error) {
-		return struct{}{}, s.advance(ctx, r, t)
-	})
-	return err
+	idx := s.cfg.Policy.Pick(e.arr, loads)
+	if idx < 0 || idx >= len(s.replicas) {
+		return fmt.Errorf("serve: policy %s routed to replica %d of %d", s.cfg.Policy.Name(), idx, len(s.replicas))
+	}
+	if s.lazy {
+		if err := s.advance(ctx, s.replicas[idx], e.at); err != nil {
+			return err
+		}
+	}
+	rec := e.rec
+	rec.replica = idx
+	if s.cfg.IncludePrefill {
+		rec.prefill = s.replicas[idx].sys.PrefillSeconds(e.arr.Req.Context)
+	}
+	return s.replicas[idx].eng.Enqueue(e.arr.Req)
 }
 
 // Run serves a timed arrival schedule to completion and reports the SLO
@@ -289,7 +315,17 @@ func Run(ctx context.Context, cfg Config, arrivals []workload.Arrival) (*Report,
 	if len(cfg.Fleet) > 0 {
 		return runFleet(ctx, cfg, arrivals)
 	}
-	s := &sim{cfg: cfg, tracker: tracker{recs: make(map[int]*record, len(arrivals)), singleStep: cfg.SingleStep}}
+	s := &sim{cfg: cfg}
+	_, s.lazy = cfg.Policy.(LoadOblivious)
+	mode := syncBarrier
+	if s.lazy {
+		mode = syncLazy
+	}
+	s.spine = spine{
+		tracker: tracker{recs: make(map[int]*record, len(arrivals)), singleStep: cfg.SingleStep},
+		sync:    mode,
+		sched:   s,
+	}
 	for i := 0; i < cfg.Replicas; i++ {
 		sys, err := cluster.New(cfg.System)
 		if err != nil {
@@ -301,8 +337,6 @@ func Run(ctx context.Context, cfg Config, arrivals []workload.Arrival) (*Report,
 		}
 		s.replicas = append(s.replicas, &replica{sys: sys, eng: eng})
 	}
-	// Route arrivals in time order: advance every replica to the arrival
-	// time first, so load-aware policies observe the live queue state.
 	for i, a := range arrivals {
 		if i > 0 && a.At < arrivals[i-1].At {
 			return nil, fmt.Errorf("serve: arrivals not sorted at %d (%g after %g)", i, a.At, arrivals[i-1].At)
@@ -310,33 +344,11 @@ func Run(ctx context.Context, cfg Config, arrivals []workload.Arrival) (*Report,
 		if _, dup := s.recs[a.Req.ID]; dup {
 			return nil, fmt.Errorf("serve: duplicate request ID %d in schedule", a.Req.ID)
 		}
-		if err := s.advanceAll(ctx, a.At); err != nil {
-			return nil, err
-		}
-		loads := make([]Load, len(s.replicas))
-		for j, r := range s.replicas {
-			loads[j] = Load{
-				OutstandingTokens: r.eng.OutstandingTokens(),
-				Active:            r.eng.Active(),
-				Pending:           r.eng.Pending(),
-				Clock:             r.clock,
-			}
-		}
-		idx := cfg.Policy.Pick(a, loads)
-		if idx < 0 || idx >= len(s.replicas) {
-			return nil, fmt.Errorf("serve: policy %s routed to replica %d of %d", cfg.Policy.Name(), idx, len(s.replicas))
-		}
-		rec := &record{req: a.Req, arrival: a.At, replica: idx}
-		if cfg.IncludePrefill {
-			rec.prefill = s.replicas[idx].sys.PrefillSeconds(a.Req.Context)
-		}
+		rec := &record{req: a.Req, arrival: a.At, replica: -1}
 		s.recs[a.Req.ID] = rec
-		if err := s.replicas[idx].eng.Enqueue(a.Req); err != nil {
-			return nil, err
-		}
+		s.pushArrival(rec, a)
 	}
-	// Drain every replica.
-	if err := s.advanceAll(ctx, math.Inf(1)); err != nil {
+	if err := s.spine.run(ctx); err != nil {
 		return nil, err
 	}
 	return s.report(arrivals)

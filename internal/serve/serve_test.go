@@ -438,7 +438,7 @@ func TestFastForwardEquivalence(t *testing.T) {
 // exactly zero must still stamp the request's first-token time — the
 // token count, not the zero-value of record.first, decides.
 func TestApplyStampsFirstTokenByCount(t *testing.T) {
-	s := &sim{tracker: tracker{recs: map[int]*record{7: {}}}}
+	s := &sim{spine: spine{tracker: tracker{recs: map[int]*record{7: {}}}}}
 	r := &replica{} // clock 0
 	// A zero-duration iteration generates token 1 at t=0.
 	s.apply(cluster.StepResult{Seconds: 0, Batch: 1, Generated: []int{7}}, r)
@@ -457,7 +457,7 @@ func TestApplyStampsFirstTokenByCount(t *testing.T) {
 	}
 	// Multi-iteration results stamp the first token at the end of the
 	// iteration that produced it, not the leap's end.
-	s2 := &sim{tracker: tracker{recs: map[int]*record{1: {}}}}
+	s2 := &sim{spine: spine{tracker: tracker{recs: map[int]*record{1: {}}}}}
 	r2 := &replica{clock: 1}
 	s2.apply(cluster.StepResult{Seconds: 3, Iterations: 3, IterSeconds: []float64{1, 1, 1},
 		Batch: 1, Generated: []int{1}, Completed: []workload.Request{{ID: 1}}}, r2)
