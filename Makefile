@@ -10,7 +10,7 @@ BACKEND_COVER_MIN ?= 80
 # placement seams (make cover-serve / CI).
 SERVE_COVER_MIN ?= 85
 
-.PHONY: all fmt fmt-check vet staticcheck build examples test test-short race-serve fuzz-smoke fleet bench bench-check bench-baseline cover cover-serve ci
+.PHONY: all fmt fmt-check vet staticcheck build examples test test-short race-serve fuzz-smoke fleet autoscale bench bench-check bench-baseline cover cover-serve ci
 
 all: build
 
@@ -71,6 +71,12 @@ fuzz-smoke:
 # equal aggregate KV budget (the README's fleet table).
 fleet:
 	$(GO) run ./cmd/pimphony-bench -run fleet
+
+# Render the autoscaling study on the full grids: fixed vs SLO-driven
+# provisioning under bursty diurnal and MMPP traffic, priced in
+# goodput per dollar (the README's autoscale table).
+autoscale:
+	$(GO) run ./cmd/pimphony-bench -run autoscale
 
 # One iteration of every paper-figure benchmark on the short grids.
 bench:

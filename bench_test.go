@@ -6,7 +6,7 @@
 //	go test -bench . -benchtime 1x
 //	go test -bench BenchmarkFig13 -benchtime 1x -v
 //
-// The measured-vs-paper comparison lives in EXPERIMENTS.md.
+// The experiment catalog and metrics glossary live in docs/EXPERIMENTS.md.
 package pimphony_test
 
 import (

@@ -14,7 +14,7 @@
 //	pimphony-bench -short -gate-emit BENCH_serve.json -gate-check bench/baseline.json
 //
 // Every experiment prints the same rows/series the paper reports;
-// EXPERIMENTS.md records the paper-vs-measured comparison. Experiments
+// docs/EXPERIMENTS.md catalogs the experiments and metrics. Experiments
 // (and the sweep points inside each experiment) fan out across -parallel
 // workers; output order and content are identical at every setting.
 package main

@@ -25,6 +25,16 @@
 // decode, unified), routed by a -placement policy, with KV handoffs
 // and migrations priced over the -ic-gbps/-ic-lat-us interconnect.
 //
+// The -arrivals flag swaps the stationary Poisson stream for a bursty
+// process at the same time-averaged -rate: a two-state MMPP
+// (mmpp:<burst>[:<dwell-s>]) or a sinusoidal day curve
+// (diurnal:<period-s>[:<amp>]). In fleet mode, -autoscale runs the
+// fleet under an autoscaling policy instead of fixed: each spec keeps
+// -min-online replicas always on, scale-ups pay -warmup seconds before
+// capacity lands, and the table reports the provisioning-economics
+// axes (time-weighted online replicas, joules/token, $/Mtok,
+// SLO-compliant tokens per dollar) next to the latency metrics.
+//
 // Examples:
 //
 //	pimphony-serve -list
@@ -36,6 +46,7 @@
 //	pimphony-serve -alloc static -kv-budget 32 -turns 3 -think 0.2
 //	pimphony-serve -fleet neupims:prefill:1,cent:decode:3:kv=32 -trace heavy:1024-24000 -rate 2,4,8 -slo-ttft 1000
 //	pimphony-serve -fleet cent:unified:4:kv=24 -placement kv-headroom,least-tokens-fit -rate 4
+//	pimphony-serve -fleet cent:unified:4:kv=24 -arrivals diurnal:60:0.9 -rate 3 -autoscale fixed,slo -slo-ttft 2500
 package main
 
 import (
@@ -71,6 +82,10 @@ func printCatalog() {
 		fmt.Fprintln(w, "  prefill — prompt processing only; hands KV to a decode replica over the interconnect")
 		fmt.Fprintln(w, "  decode  — continuous-batching decode only; receives prefilled KV")
 		fmt.Fprintln(w, "  unified — prefills and decodes locally (no handoff transfer)")
+		fmt.Fprintln(w, "\nfleet autoscaling policies (-autoscale, with -fleet; 'fixed' keeps every replica online):")
+		fmt.Fprintf(w, "  %s\n", strings.Join(serve.AutoscalerNames(), ", "))
+		fmt.Fprintln(w, "\narrival processes (-arrivals, time-averaged to -rate):")
+		fmt.Fprintln(w, "  poisson, mmpp:<burst>[:<dwell-s>], diurnal:<period-s>[:<amp>]")
 	})
 }
 
@@ -105,6 +120,7 @@ func main() {
 	decode := flag.Int("decode", 32, "generation length per request (tokens)")
 	n := flag.Int("n", 48, "number of requests in the arrival schedule")
 	rates := flag.String("rate", "50,100,200", "arrival rate(s) in requests/second (comma-separated sweeps)")
+	arrivals := flag.String("arrivals", "poisson", "arrival process: poisson, mmpp:<burst>[:<dwell-s>], diurnal:<period-s>[:<amp>] (time-averaged to -rate)")
 	replicas := flag.String("replicas", "1", "replica count(s) behind the load balancer (comma-separated sweeps)")
 	policies := flag.String("policy", "round-robin,least-tokens",
 		fmt.Sprintf("load-balancing policy(ies), comma-separated; known: %s", strings.Join(serve.PolicyNames(), ", ")))
@@ -118,6 +134,10 @@ func main() {
 	fleet := flag.String("fleet", "", "heterogeneous fleet specs, comma-separated backend:role:count[:kv=GiB][:alloc=static|dpa]; replaces -system/-replicas/-policy with the global scheduler")
 	placements := flag.String("placement", "kv-headroom",
 		fmt.Sprintf("fleet placement policy(ies), comma-separated sweeps; known: %s", strings.Join(serve.PlacementNames(), ", ")))
+	autoscale := flag.String("autoscale", "",
+		fmt.Sprintf("fleet mode: autoscaling policy(ies), comma-separated sweeps of fixed, %s (empty = the fixed fleet table)", strings.Join(serve.AutoscalerNames(), ", ")))
+	warmup := flag.Float64("warmup", 2, "fleet autoscaling: seconds a scaled-up replica warms before it can serve")
+	minOnline := flag.Int("min-online", 1, "fleet autoscaling: replicas per spec that start online (the rest are standby)")
 	migrate := flag.Bool("migrate", true, "fleet mode: migrate preempted KV to a replica with headroom when the transfer is cheaper than recompute")
 	steal := flag.Bool("steal", true, "fleet mode: idle replicas steal queued requests from overloaded ones")
 	icGbps := flag.Float64("ic-gbps", 64, "fleet interconnect bandwidth in GiB/s (0 disables transfers: unified fleets only)")
@@ -183,9 +203,15 @@ func main() {
 	// One deterministic schedule per rate: the request sequence (sizes,
 	// sessions) is identical across rates; only the timestamps change.
 	// The arrival process gets a derived seed so the size and timing
-	// RNG streams are independent, not copies of one another. With
+	// RNG streams are independent, not copies of one another. The
+	// -arrivals grammar picks the process (stationary Poisson, MMPP
+	// bursts, diurnal day curve) at the same time-averaged rate. With
 	// -turns > 1 the schedule is -sessions multi-turn conversations
 	// instead, each turn re-extending its session's context.
+	arrFlag := strings.TrimSpace(*arrivals)
+	if *turns > 1 && arrFlag != "" && arrFlag != "poisson" {
+		fatalf("-arrivals %s does not apply to multi-turn sessions: the session-start process is Poisson and turn timing comes from -think", arrFlag)
+	}
 	mkArrivals := func(rate float64) ([]workload.Arrival, error) {
 		gen, err := workload.GeneratorByFlag(strings.TrimSpace(*traceName), *seed)
 		if err != nil {
@@ -203,7 +229,7 @@ func main() {
 				MaxContext: m.ContextWindow - *decode,
 			}, *seed+1)
 		}
-		return workload.PoissonArrivals(gen, rate, *sessions, *n, *seed+1)
+		return workload.ArrivalsByFlag(arrFlag, gen, rate, *sessions, *n, *seed+1)
 	}
 
 	slo := serve.SLO{TTFT: *sloTTFT / 1e3, TBT: *sloTBT / 1e3}
@@ -241,6 +267,55 @@ func main() {
 			fatal(err)
 		}
 		ic := timing.Interconnect{BytesPerSecond: *icGbps * float64(1<<30), LatencySeconds: *icLatUs * 1e-6}
+		if *autoscale != "" {
+			// The autoscale table has no placement column: like -capacity
+			// with -policy, it sweeps policies under one placement.
+			if strings.Contains(*placements, ",") {
+				fatalf("-autoscale sweeps autoscaling policies under a single -placement; got %q", *placements)
+			}
+			// Decode-capable specs keep -min-online replicas always on
+			// and pay -warmup per scale-up; prefill replicas are not
+			// autoscaled (Min/WarmupSeconds are decode-pool knobs).
+			ascSpecs := make([]serve.ReplicaSpec, len(specs))
+			copy(ascSpecs, specs)
+			for i := range ascSpecs {
+				if ascSpecs[i].Role != serve.RolePrefill {
+					ascSpecs[i].Min = *minOnline
+					ascSpecs[i].WarmupSeconds = *warmup
+				}
+			}
+			var pts []serve.AutoscalePoint
+			for _, mode := range strings.Split(*autoscale, ",") {
+				mode = strings.TrimSpace(mode)
+				if mode == "fixed" {
+					mode = ""
+				}
+				for _, rate := range rateList {
+					name := arrFlag
+					if name == "" {
+						name = "poisson"
+					}
+					if len(rateList) > 1 {
+						name = fmt.Sprintf("%s@%g", name, rate)
+					}
+					rate := rate
+					pts = append(pts, serve.AutoscalePoint{
+						Name: name, Specs: ascSpecs, AutoscalerName: mode,
+						PlacementName: strings.TrimSpace(*placements),
+						Cfg:           serve.Config{Interconnect: ic, Migrate: *migrate, Steal: *steal},
+						Arrivals:      func() ([]workload.Arrival, error) { return mkArrivals(rate) },
+					})
+				}
+			}
+			title := fmt.Sprintf("autoscale %s / %s / %s / %s — %s, decode %d, min %d, warm-up %gs, SLO ttft<=%gms tbt<=%gms (ttft-p95 in ms)",
+				strings.TrimSpace(*fleet), m.Name, strings.TrimSpace(*traceName), arrFlag, workDesc, *decode, *minOnline, *warmup, *sloTTFT, *sloTBT)
+			t, err := serve.AutoscaleTable(context.Background(), title, pts, slo)
+			if err != nil {
+				fatal(err)
+			}
+			emit(t)
+			return
+		}
 		var pts []serve.FleetPoint
 		for _, pl := range strings.Split(*placements, ",") {
 			pl = strings.TrimSpace(pl)
@@ -259,6 +334,10 @@ func main() {
 		}
 		emit(t)
 		return
+	}
+
+	if *autoscale != "" {
+		fatal("-autoscale requires fleet mode (set -fleet); the homogeneous replica set is fixed")
 	}
 
 	if *capacity {

@@ -172,6 +172,13 @@ type Backend interface {
 	// PrefillSeconds estimates prompt processing on the backend's dense
 	// engine.
 	PrefillSeconds(env *Env, context int) float64
+	// CostPerHour is the amortised provisioning cost of one replica of
+	// this system in dollars per hour — hardware capital spread over its
+	// service life plus hosting, excluding the modeled device energy
+	// (which serving reports price separately at the grid rate). Values
+	// are order-of-magnitude; the reproduced metric is the cost ratio
+	// between system organisations, not a market quote.
+	CostPerHour(env *Env) float64
 }
 
 var (

@@ -468,3 +468,33 @@ func TestStepperMatchesStep(t *testing.T) {
 		})
 	}
 }
+
+func TestCostPerHourAllBackends(t *testing.T) {
+	m := model.LLM7B32K()
+	envs := map[string]*Env{
+		PIMOnly: pimEnv(m, PIMphony()),
+		XPUPIM:  pimEnv(m, PIMphony()),
+		DIMMPIM: dimmEnv(m, PIMphony()),
+		GPU:     gpuEnv(m),
+	}
+	for name, env := range envs {
+		b, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%s): %v", name, err)
+		}
+		if c := b.CostPerHour(env); c <= 0 {
+			t.Errorf("%s: CostPerHour = %g, want positive", name, c)
+		}
+	}
+	// Cost ordering the docs promise: the commodity PIM stack undercuts
+	// the GPU pair, and hybrids pay their host/NPU premium over pure PIM.
+	pim, _ := Lookup(PIMOnly)
+	gpuB, _ := Lookup(GPU)
+	xpu, _ := Lookup(XPUPIM)
+	if pim.CostPerHour(envs[PIMOnly]) >= gpuB.CostPerHour(envs[GPU]) {
+		t.Errorf("PIM stack $%g/h not below GPU $%g/h", pim.CostPerHour(envs[PIMOnly]), gpuB.CostPerHour(envs[GPU]))
+	}
+	if xpu.CostPerHour(envs[XPUPIM]) <= pim.CostPerHour(envs[PIMOnly]) {
+		t.Errorf("xPU+PIM $%g/h not above PIM-only $%g/h", xpu.CostPerHour(envs[XPUPIM]), pim.CostPerHour(envs[PIMOnly]))
+	}
+}

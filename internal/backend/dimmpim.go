@@ -67,3 +67,14 @@ func (dimmPIM) PrefillSeconds(env *Env, context int) float64 {
 	dev := xpu.DIMMHostGPU()
 	return dev.OpTime(prefillFlops(env.Model, context), env.Model.WeightBytes())
 }
+
+// dimmDollarsPerHour amortises one PIM-enabled DDR5 DIMM — commodity
+// memory pricing, the capacity-per-dollar argument of the L3/LoL-PIM
+// line.
+const dimmDollarsPerHour = 0.09
+
+// CostPerHour charges the host GPU (which keeps the weights and runs
+// FC) plus the DIMM pool.
+func (dimmPIM) CostPerHour(env *Env) float64 {
+	return gpuDollarsPerHour + dimmDollarsPerHour*float64(env.Modules)
+}

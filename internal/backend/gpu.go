@@ -77,3 +77,13 @@ func (gpu) PrefillSeconds(env *Env, context int) float64 {
 	flops := prefillFlops(env.Model, context)
 	return g.OpTime(flops/int64(env.GPUs), env.Model.WeightBytes()/int64(env.GPUs))
 }
+
+// gpuDollarsPerHour amortises one A100-class device (cloud on-demand
+// scale). The GPU prices no module energy (IterEnergy is zero), so its
+// serving cost is provisioning-only.
+const gpuDollarsPerHour = 2.10
+
+// CostPerHour charges the device count.
+func (gpu) CostPerHour(env *Env) float64 {
+	return gpuDollarsPerHour * float64(env.GPUs)
+}

@@ -437,6 +437,17 @@ func (p pimOnly) Step(ctx context.Context, env *Env, batch []workload.Request, t
 	return p.step(ctx, env, batch, tokensOf, pnmFC, additive)
 }
 
+// pimModuleDollarsPerHour amortises one GDDR6-AiM-class PIM module
+// (device plus its hosting share) — commodity-DRAM economics, an order
+// of magnitude below a datacenter GPU.
+const pimModuleDollarsPerHour = 0.45
+
+// CostPerHour charges the module stack: a CENT-style system is PIM
+// modules and nothing else.
+func (pimOnly) CostPerHour(env *Env) float64 {
+	return pimModuleDollarsPerHour * float64(env.Modules)
+}
+
 func (p pimOnly) IterEnergy(env *Env, cost StepCost, batch int) (attn, fc energy.Breakdown) {
 	return p.iterEnergy(env, cost, batch)
 }

@@ -55,3 +55,12 @@ func (xpuPIM) PrefillSeconds(env *Env, context int) float64 {
 	flops := prefillFlops(env.Model, context)
 	return dev.OpTime(flops/int64(env.Modules), env.Model.WeightBytes()/int64(env.Modules))
 }
+
+// npuDollarsPerHour amortises the NPU die the hybrid adds on top of its
+// PIM modules.
+const npuDollarsPerHour = 1.20
+
+// CostPerHour charges the PIM module stack plus the NPU.
+func (xpuPIM) CostPerHour(env *Env) float64 {
+	return npuDollarsPerHour + pimModuleDollarsPerHour*float64(env.Modules)
+}

@@ -623,3 +623,12 @@ func Sweep(ctx context.Context, cfgs []Config, reqs []workload.Request, opts ...
 func (s *System) PrefillSeconds(context int) float64 {
 	return s.be.PrefillSeconds(s.env, context)
 }
+
+// CostPerHour is the amortised provisioning cost of this system in
+// dollars per hour (hardware capital plus hosting, excluding modeled
+// device energy) — the backend's order-of-magnitude rate for the
+// configured module/device counts. Serving reports multiply it by the
+// seconds a replica was provisioned to price goodput per dollar.
+func (s *System) CostPerHour() float64 {
+	return s.be.CostPerHour(s.env)
+}

@@ -96,6 +96,19 @@ func (m Model) ForStack(dev timing.Device, s *pim.Stack, res *sched.Result) Brea
 	}
 }
 
+// GridDollarsPerKWh is the electricity price the serving reports use
+// to convert modeled device energy into operating dollars — an
+// order-of-magnitude datacenter rate (grid power plus cooling
+// overhead). The reproduced claims are relational (joules/token and
+// cost/Mtok ratios between systems), not absolute tariffs.
+const GridDollarsPerKWh = 0.14
+
+// GridDollars converts joules of modeled energy to dollars at the
+// GridDollarsPerKWh rate (1 kWh = 3.6e6 J).
+func GridDollars(joules float64) float64 {
+	return joules / 3.6e6 * GridDollarsPerKWh
+}
+
 // ForAggregate computes energy from pre-aggregated counts (the cluster
 // simulator path, where stacks are not materialised per channel).
 func (m Model) ForAggregate(dev timing.Device, macs, ioBytes, actPre int64, busyChannels int, cycles timing.Cycles) Breakdown {

@@ -34,4 +34,5 @@ func Catalog(w io.Writer, mid func(io.Writer)) {
 	for _, id := range IDs() {
 		fmt.Fprintf(w, "  %-28s %s\n", id, Description(id))
 	}
+	fmt.Fprintln(w, "\nper-experiment commands and the metrics glossary: docs/EXPERIMENTS.md")
 }

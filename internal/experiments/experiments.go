@@ -2,8 +2,9 @@
 // paper's evaluation. Every driver returns a Result whose table prints the
 // same rows/series the paper reports; the drivers are shared by the
 // repository-level benchmark harness (bench_test.go) and the
-// cmd/pimphony-bench binary, and EXPERIMENTS.md records paper-vs-measured
-// values for each.
+// cmd/pimphony-bench binary. docs/EXPERIMENTS.md catalogs every
+// registered experiment and defines every table metric; paper-vs-measured
+// commentary lives in each driver's Notes.
 package experiments
 
 import (
@@ -106,9 +107,10 @@ var registry = map[string]entry{
 	"systems": {SystemsCompare, "all registered backends (pim-only, xpu+pim, gpu, dimm-pim) on shared workloads"},
 
 	// Online serving studies beyond the paper's batch evaluation.
-	"serve":    {ServeCurve, "online latency-throughput curve under TTFT/TBT SLOs"},
-	"capacity": {CapacityGap, "online Static-vs-DPA capacity gap at an equal KV budget"},
-	"fleet":    {FleetCompare, "homogeneous vs disaggregated prefill/decode fleets at equal KV budget"},
+	"serve":     {ServeCurve, "online latency-throughput curve under TTFT/TBT SLOs"},
+	"capacity":  {CapacityGap, "online Static-vs-DPA capacity gap at an equal KV budget"},
+	"fleet":     {FleetCompare, "homogeneous vs disaggregated prefill/decode fleets at equal KV budget"},
+	"autoscale": {AutoscaleStudy, "fixed vs SLO-driven autoscaled fleet under bursty traffic, goodput per dollar"},
 
 	// Design-choice ablations beyond the paper's figures.
 	"abl-ismac":   {AblationIsMAC, "MAC-command issue-interval sensitivity"},

@@ -217,7 +217,7 @@ func TestFig13SpeedupBands(t *testing.T) {
 		}
 		// The paper tops out at 11.3x; our baseline enforces stricter
 		// single-channel KV locality, so the 72B-GQA extreme overshoots
-		// (documented in EXPERIMENTS.md). Anything beyond 50x would
+		// (documented in the fig17 driver notes). Anything beyond 50x would
 		// indicate a modelling bug rather than that divergence.
 		if sp > 50 {
 			t.Errorf("%s/%s: full-stack speedup %.2fx is implausibly high", row[0], row[1], sp)

@@ -1,0 +1,217 @@
+// Fleet autoscaling: a policy seam on the discrete-event spine that
+// lets the global scheduler change the online decode-replica set while
+// a simulation runs. A fleet built with Config.Autoscaler starts with
+// each spec's Min replicas online and the rest offline (standby); at
+// every scheduler decision boundary — arrival routing, engine-call
+// reactions, idle retries — the Autoscaler inspects an AutoscaleView
+// and asks for replicas to be provisioned or drained:
+//
+//   - Provisioning marks the lowest-index standby replica warming and
+//     schedules an evProvision at now + WarmupSeconds (a zero warm-up
+//     applies synchronously, which is what pins the fixed-fleet
+//     regression: MaxScaler with zero warm-up reproduces the fixed
+//     fleet byte-for-byte). When the event dispatches, the replica
+//     joins the online pool and is immediately placeable.
+//   - Draining retires the highest-index idle online replica (no
+//     active batch, no queued work, nothing in flight toward it) via
+//     an evDrain at the decision time. Draining replicas are excluded
+//     from placement, stealing and migration, so nothing can land on
+//     one between the decision and its event. Draining to zero is
+//     allowed; held arrivals then re-provision (the spine's idleWork
+//     backstop guarantees a standby is brought up rather than
+//     stalling).
+//
+// Online seconds are integrated per replica from provision to drain
+// (clamped to the makespan window), so Report.Energy prices an
+// autoscaled fleet for the capacity it actually kept online — the
+// goodput-per-dollar axis the autoscale experiment sweeps.
+package serve
+
+import (
+	"fmt"
+	"math"
+)
+
+// replState is one fleet replica's autoscaling lifecycle state.
+type replState int
+
+const (
+	// stateOnline: the replica takes placements, steals and migrations.
+	stateOnline replState = iota
+	// stateWarming: provisioning was decided; the replica joins the
+	// online pool when its evProvision dispatches.
+	stateWarming
+	// stateDraining: retirement was decided; the replica is already
+	// excluded from placement and leaves the pool when its evDrain
+	// dispatches (same timestamp — the state exists so nothing can be
+	// routed to it in between).
+	stateDraining
+	// stateOffline: standby — provisioned capacity not currently online
+	// (not charged for provisioning while offline).
+	stateOffline
+)
+
+func (s replState) String() string {
+	switch s {
+	case stateOnline:
+		return "online"
+	case stateWarming:
+		return "warming"
+	case stateDraining:
+		return "draining"
+	case stateOffline:
+		return "offline"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// ScaleEvent is one autoscaler action in a fleet run's timeline.
+type ScaleEvent struct {
+	// At is the simulation time the replica set changed (seconds; for a
+	// provision, the warm-up end, not the decision time).
+	At float64
+	// Delta is +1 for a replica coming online, -1 for a drain.
+	Delta int
+	// Online is the online decode-replica count after the event.
+	Online int
+}
+
+// AutoscaleView is the fleet state an Autoscaler decides on: the
+// replica pool by lifecycle state, the work visible to the global
+// scheduler, and how long the oldest un-served request has waited.
+// Everything in it is deterministic, so autoscaled runs stay
+// byte-identical across leap granularity and sweep parallelism.
+type AutoscaleView struct {
+	// Now is the decision boundary's simulation time (seconds).
+	Now float64
+	// SLO is the run's latency target (the scale-up trigger is usually
+	// relative to SLO.TTFT).
+	SLO SLO
+	// Online / Warming / Standby count decode replicas by state
+	// (draining replicas have already left Online).
+	Online, Warming, Standby int
+	// IdleOnline counts online replicas with no work at all — no active
+	// batch, no queue, nothing in flight toward them — i.e. the ones a
+	// drain decision could retire right now.
+	IdleOnline int
+	// Held is the global queue: requests no online replica could admit
+	// at their decision point.
+	Held int
+	// Queued / Active sum the online replicas' pending and admitted
+	// request counts.
+	Queued, Active int
+	// FreeKVFrac is the online replicas' pooled free KV fraction (zero
+	// when nothing is online).
+	FreeKVFrac float64
+	// OldestWaitSeconds is the longest time any arrived request has
+	// waited without producing its first token (zero when none wait).
+	OldestWaitSeconds float64
+}
+
+// Autoscaler decides, at each scheduler decision boundary, whether the
+// fleet's online decode-replica set should change. Implementations may
+// keep state (cooldowns), so each Run needs a fresh instance.
+type Autoscaler interface {
+	// Name labels the policy in reports and CLI flags.
+	Name() string
+	// Scale returns how many replicas to provision (positive), drain
+	// (negative), or zero to hold. The scheduler clamps the request to
+	// what exists: provisioning stops at the standby pool, draining at
+	// the idle online replicas.
+	Scale(v AutoscaleView) int
+}
+
+// SLOScaler is the default autoscaling policy: scale up when TTFT
+// attainment is threatened — a request is held with nowhere to go, the
+// oldest un-served wait crosses TTFTFraction of the TTFT SLO, or KV
+// headroom is nearly gone with work still queued — and drain one idle
+// replica at a time when the fleet is quiet. Both directions are
+// cooldown-limited so one burst does not thrash the pool.
+type SLOScaler struct {
+	// TTFTFraction triggers scale-up when the oldest un-served request
+	// has waited longer than this fraction of SLO.TTFT (ignored when
+	// the SLO has no TTFT target).
+	TTFTFraction float64
+	// HeadroomLow triggers scale-up when the pooled free-KV fraction
+	// falls below it while requests are queued.
+	HeadroomLow float64
+	// CooldownSeconds is the minimum gap between two scale-ups and
+	// between two drains.
+	CooldownSeconds float64
+
+	lastUp, lastDown float64
+}
+
+// NewSLOScaler builds the default SLO-driven policy: scale up at half
+// the TTFT budget or under 10% pooled KV headroom, drain when quiet,
+// 4s cooldown each way.
+func NewSLOScaler() *SLOScaler {
+	return &SLOScaler{
+		TTFTFraction:    0.5,
+		HeadroomLow:     0.1,
+		CooldownSeconds: 4,
+		lastUp:          math.Inf(-1),
+		lastDown:        math.Inf(-1),
+	}
+}
+
+// Name implements Autoscaler.
+func (s *SLOScaler) Name() string { return "slo" }
+
+// Scale implements Autoscaler: +1 under SLO pressure, -1 when idle
+// capacity sits in a quiet fleet, 0 otherwise.
+func (s *SLOScaler) Scale(v AutoscaleView) int {
+	pressed := v.Held > 0 ||
+		(v.SLO.TTFT > 0 && v.OldestWaitSeconds > s.TTFTFraction*v.SLO.TTFT) ||
+		(v.FreeKVFrac < s.HeadroomLow && v.Queued > 0)
+	if pressed {
+		// The cooldown paces ordinary ramping; once the oldest wait has
+		// blown the whole TTFT budget the burst is outrunning that pace
+		// and every decision boundary may bring a replica up.
+		urgent := v.SLO.TTFT > 0 && v.OldestWaitSeconds > v.SLO.TTFT
+		if v.Standby > 0 && (urgent || v.Now >= s.lastUp+s.CooldownSeconds) {
+			s.lastUp = v.Now
+			return 1
+		}
+		return 0
+	}
+	quiet := v.Held == 0 && v.Queued == 0 && v.Warming == 0 && v.OldestWaitSeconds == 0
+	if quiet && v.IdleOnline > 0 && v.Now >= s.lastDown+s.CooldownSeconds {
+		s.lastDown = v.Now
+		return -1
+	}
+	return 0
+}
+
+// MaxScaler provisions every standby replica at the first decision
+// boundary and never drains — the all-capacity upper bound. With zero
+// warm-up it reproduces the fixed fleet exactly (the regression suite
+// pins that byte-identity), which is what anchors autoscaled runs to
+// the fixed-fleet tables.
+type MaxScaler struct{}
+
+// Name implements Autoscaler.
+func (MaxScaler) Name() string { return "max" }
+
+// Scale implements Autoscaler: bring everything online, keep it there.
+func (MaxScaler) Scale(v AutoscaleView) int { return v.Standby }
+
+// AutoscalerByName builds a fresh autoscaler instance from its CLI
+// name.
+func AutoscalerByName(name string) (Autoscaler, error) {
+	switch name {
+	case "slo":
+		return NewSLOScaler(), nil
+	case "max":
+		return MaxScaler{}, nil
+	default:
+		return nil, fmt.Errorf("serve: unknown autoscaler %q (known: %v)", name, AutoscalerNames())
+	}
+}
+
+// AutoscalerNames lists the selectable autoscaling policies in CLI
+// order.
+func AutoscalerNames() []string {
+	return []string{"max", "slo"}
+}

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+
+	"pimphony/internal/sweep"
+	"pimphony/internal/tablefmt"
+	"pimphony/internal/workload"
+)
+
+// AutoscalePoint is one cell of an autoscaling sweep: a fleet
+// composition serving a named arrival pattern either fixed (every
+// replica online for the whole run) or under an autoscaling policy.
+type AutoscalePoint struct {
+	// Name labels the row's traffic pattern (e.g. "diurnal", "mmpp").
+	Name  string
+	Specs []ReplicaSpec
+	// AutoscalerName is an AutoscalerNames() entry, built fresh per
+	// run; "" runs the fleet fixed.
+	AutoscalerName string
+	// PlacementName is a PlacementNames() entry, built fresh per run;
+	// "" = kv-headroom.
+	PlacementName string
+	// Cfg carries the scheduler knobs (Interconnect, Migrate, Steal);
+	// Fleet, SLO, Placement and Autoscaler are filled in per point.
+	Cfg Config
+	// Arrivals builds the point's schedule; it must be deterministic,
+	// so the table is byte-identical at any sweep parallelism.
+	Arrivals func() ([]workload.Arrival, error)
+}
+
+// AutoscaleTable evaluates autoscaling points through the parallel
+// sweep engine and renders the provisioning-economics comparison: the
+// time-weighted online replica count and the scale-up/drain activity
+// next to goodput and SLO attainment, then the cost axis those
+// decisions move — joules per token, dollars per million tokens, and
+// SLO-compliant tokens per dollar (the study's headline metric). The
+// cmd/pimphony-serve -autoscale mode and the "autoscale" experiment
+// driver both render through here.
+func AutoscaleTable(ctx context.Context, title string, pts []AutoscalePoint, slo SLO,
+	opts ...sweep.Option) (*tablefmt.Table, error) {
+	t := tablefmt.New(title,
+		"arrivals", "mode", "repl", "avg-onl", "ups", "drains",
+		"goodput", "slo-met%", "ttft-p95", "j/tok", "$/Mtok", "goodtok/$")
+	rows, err := sweep.Rows(ctx, pts, func(ctx context.Context, p AutoscalePoint) ([]any, error) {
+		cfg := p.Cfg
+		cfg.Fleet = p.Specs
+		cfg.SLO = slo
+		plName := p.PlacementName
+		if plName == "" {
+			plName = "kv-headroom"
+		}
+		pl, err := PlacementByName(plName)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Placement = pl
+		mode := "fixed"
+		if p.AutoscalerName != "" {
+			auto, err := AutoscalerByName(p.AutoscalerName)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Autoscaler = auto
+			mode = p.AutoscalerName
+		}
+		arr, err := p.Arrivals()
+		if err != nil {
+			return nil, err
+		}
+		rep, err := Run(ctx, cfg, arr)
+		if err != nil {
+			return nil, fmt.Errorf("autoscale %s/%s: %w", p.Name, mode, err)
+		}
+		fl, e := rep.Fleet, rep.Energy
+		return []any{p.Name, mode, RoleSummary(p.Specs), fl.AvgOnlineReplicas,
+			fl.ScaleUps, fl.Drains, rep.Goodput, 100 * rep.SLOMet,
+			1e3 * rep.TTFT.P95, e.JoulesPerToken, e.CostPerMTok, e.GoodTokensPerDollar}, nil
+	}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		t.AddRow(r...)
+	}
+	return t, nil
+}
+
+// ScaleTimeline renders a fleet run's replica-count-over-time: one row
+// per provision/drain event, timestamped relative to the first event.
+// Empty (headers only) for fixed fleets.
+func ScaleTimeline(rep *Report, title string) *tablefmt.Table {
+	t := tablefmt.New(title, "t(s)", "event", "online")
+	if rep.Fleet == nil {
+		return t
+	}
+	for _, ev := range rep.Fleet.ScaleEvents {
+		kind := "provision"
+		if ev.Delta < 0 {
+			kind = "drain"
+		}
+		t.AddRow(ev.At, kind, ev.Online)
+	}
+	return t
+}

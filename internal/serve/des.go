@@ -67,6 +67,14 @@ const (
 	// evStolen: a stolen queued request's prompt KV landed on the idle
 	// replica that pulled it.
 	evStolen
+	// evProvision: an autoscaled standby replica's warm-up finished; it
+	// joins the online pool at this timestamp (fleet autoscaling only,
+	// see autoscale.go). dst is the replica index.
+	evProvision
+	// evDrain: the autoscaler retired an idle online replica; it leaves
+	// the online pool at this timestamp (fleet autoscaling only). dst
+	// is the replica index.
+	evDrain
 	// evReady: a busy replica's next engine-call boundary — its clock.
 	// Popping it advances that replica by one (horizon-clamped) engine
 	// call; a leap cut short by Engine.SetHorizon simply re-arms the

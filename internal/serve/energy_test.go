@@ -1,0 +1,70 @@
+// Report.Energy: every backend's serving report must carry the
+// energy/cost axis — joules/token where the backend models energy,
+// provisioning dollars everywhere — with the accounting identities
+// intact.
+package serve_test
+
+import (
+	"math"
+	"testing"
+
+	"pimphony/internal/serve"
+	"pimphony/internal/simtest"
+)
+
+func TestReportEnergyAllBackends(t *testing.T) {
+	arr, err := simtest.PoissonSchedule(12, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := simtest.TightSchedule(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range simtest.SystemNames() {
+		t.Run(name, func(t *testing.T) {
+			arr := arr
+			if name == "pim-tight" {
+				arr = tight // QMSum prompts overflow the tight budget outright
+			}
+			cfg := serve.Config{
+				System:   simtest.System(name),
+				Replicas: 2,
+				Policy:   serve.RoundRobin(),
+				SLO:      serve.SLO{TTFT: 1.0},
+			}
+			rep := mustRun(t, cfg, arr)
+			e := rep.Energy
+			if name == "gpu-paged" {
+				// The GPU backend prices no module energy; its cost is
+				// provisioning-only.
+				if e.DecodeJoules != 0 || e.JoulesPerToken != 0 {
+					t.Errorf("gpu energy %g J (%g J/tok), want zero by construction", e.DecodeJoules, e.JoulesPerToken)
+				}
+			} else if e.DecodeJoules <= 0 || e.JoulesPerToken <= 0 {
+				t.Errorf("energy %g J, %g J/tok, want positive for a modeled backend", e.DecodeJoules, e.JoulesPerToken)
+			}
+			if e.CostPerMTok <= 0 || e.ProvisionDollars <= 0 {
+				t.Errorf("cost %g $/Mtok, provision $%g, want positive", e.CostPerMTok, e.ProvisionDollars)
+			}
+			// Accounting identities.
+			if got, want := e.Dollars, e.ProvisionDollars+e.EnergyDollars; got != want {
+				t.Errorf("Dollars %g != provision %g + energy %g", got, e.ProvisionDollars, e.EnergyDollars)
+			}
+			if want := float64(cfg.Replicas) * rep.MakespanSeconds; math.Abs(e.ReplicaSeconds-want) > 1e-9*want {
+				t.Errorf("fixed-pool ReplicaSeconds %g, want replicas x makespan %g", e.ReplicaSeconds, want)
+			}
+			if e.JoulesPerToken > 0 {
+				if got := e.JoulesPerToken * float64(rep.Tokens); math.Abs(got-e.DecodeJoules) > 1e-9*e.DecodeJoules {
+					t.Errorf("J/tok x tokens = %g, want DecodeJoules %g", got, e.DecodeJoules)
+				}
+			}
+			if rep.GoodTokens > rep.Tokens {
+				t.Errorf("good tokens %d exceed total %d", rep.GoodTokens, rep.Tokens)
+			}
+			if e.GoodTokensPerDollar > float64(rep.Tokens)/e.Dollars+1e-9 {
+				t.Errorf("goodtok/$ %g above tok/$ %g", e.GoodTokensPerDollar, float64(rep.Tokens)/e.Dollars)
+			}
+		})
+	}
+}

@@ -68,6 +68,7 @@ const (
 	RoleDecode
 )
 
+// String names the role as the -fleet spec grammar spells it.
 func (r Role) String() string {
 	switch r {
 	case RoleUnified:
@@ -87,6 +88,17 @@ type ReplicaSpec struct {
 	System cluster.Config
 	Count  int
 	Role   Role
+	// Min is how many of the Count replicas start online when the fleet
+	// is autoscaled (Config.Autoscaler non-nil); the remainder start as
+	// offline standby the autoscaler may provision. Ignored — every
+	// replica is online — for fixed fleets and for RolePrefill specs
+	// (prefill servers are never autoscaled).
+	Min int
+	// WarmupSeconds is the provisioning delay an autoscaled replica of
+	// this spec pays between the scale-up decision and taking work
+	// (weight loading, pool initialisation). Zero means scale-ups apply
+	// instantly at the decision boundary.
+	WarmupSeconds float64
 }
 
 // validateFleet checks the fleet half of a Config.
@@ -95,6 +107,12 @@ func (c *Config) validateFleet() error {
 	for i, spec := range c.Fleet {
 		if spec.Count <= 0 {
 			return fmt.Errorf("serve: fleet spec %d: Count must be positive, got %d", i, spec.Count)
+		}
+		if spec.Min < 0 || spec.Min > spec.Count {
+			return fmt.Errorf("serve: fleet spec %d: Min %d outside [0, Count=%d]", i, spec.Min, spec.Count)
+		}
+		if spec.WarmupSeconds < 0 {
+			return fmt.Errorf("serve: fleet spec %d: WarmupSeconds must be non-negative, got %g", i, spec.WarmupSeconds)
 		}
 		switch spec.Role {
 		case RoleUnified, RoleDecode:
@@ -147,6 +165,17 @@ type FleetStats struct {
 	// fleet (internal/energy; zero for backends without an energy
 	// model).
 	JoulesPerToken float64
+	// ScaleUps / Drains count the autoscaler's replica provisioning and
+	// retirement actions (zero for a fixed fleet).
+	ScaleUps int
+	Drains   int
+	// AvgOnlineReplicas is the time-weighted online decode-replica
+	// count over the makespan (equal to DecodeReplicas for a fixed
+	// fleet).
+	AvgOnlineReplicas float64
+	// ScaleEvents is the provision/drain timeline in event order (nil
+	// for a fixed fleet).
+	ScaleEvents []ScaleEvent
 }
 
 // prefillServer is a dense prompt-processing engine with a FIFO busy
@@ -208,8 +237,25 @@ type fleetSim struct {
 	// incoming counts KV transfers in flight toward each decoder, so
 	// stealing never targets a replica that already has work landing.
 	incoming []int
-	stats    FleetStats
-	bpt      int64 // KV bytes per token (uniform across the fleet)
+	// landing counts colocated prefills whose handoff is scheduled onto
+	// each decoder, so a drain decision never retires a replica with a
+	// prompt about to land (incoming covers migrations/steals only).
+	landing []int
+	stats   FleetStats
+	bpt     int64 // KV bytes per token (uniform across the fleet)
+
+	// Autoscaling state (auto nil = fixed fleet; the per-replica slices
+	// are still built, all-online, so placement/steal/drain checks are
+	// uniform).
+	auto        Autoscaler
+	state       []replState
+	onlineSince []float64 // provision time of the current online interval
+	onlineSecs  []float64 // completed online intervals, makespan-clamped
+	// waiting tracks arrived requests that have not produced their
+	// first token, for AutoscaleView.OldestWaitSeconds (nil when auto
+	// is nil).
+	waiting      map[int]*record
+	firstArrival float64
 }
 
 func newFleetSim(cfg Config, n int) (*fleetSim, error) {
@@ -251,10 +297,22 @@ func newFleetSim(cfg Config, n int) (*fleetSim, error) {
 				fr.pre = &prefillServer{sys: sys, spec: si}
 			}
 			fs.decoders = append(fs.decoders, fr)
+			if cfg.Autoscaler == nil || c < spec.Min {
+				fs.state = append(fs.state, stateOnline)
+			} else {
+				fs.state = append(fs.state, stateOffline)
+			}
+			fs.onlineSince = append(fs.onlineSince, 0)
 		}
 	}
 	fs.bpt = bpt
 	fs.incoming = make([]int, len(fs.decoders))
+	fs.landing = make([]int, len(fs.decoders))
+	fs.onlineSecs = make([]float64, len(fs.decoders))
+	fs.auto = cfg.Autoscaler
+	if fs.auto != nil {
+		fs.waiting = make(map[int]*record, n)
+	}
 	reps := make([]*replica, len(fs.decoders))
 	for i, d := range fs.decoders {
 		reps[i] = &d.replica
@@ -286,15 +344,22 @@ func runFleet(ctx context.Context, cfg Config, arrivals []workload.Arrival) (*Re
 		fs.recs[a.Req.ID] = rec
 		fs.pushArrival(rec, a)
 	}
+	fs.firstArrival = arrivals[0].At
 	if err := fs.spine.run(ctx); err != nil {
 		return nil, err
 	}
 	return fs.report(arrivals)
 }
 
-// onStep reacts to one decoder engine call: any preemptions the step
-// produced become migration candidates.
+// onStep reacts to one decoder engine call: first tokens retire their
+// requests from the autoscaler's waiting set, and any preemptions the
+// step produced become migration candidates.
 func (fs *fleetSim) onStep(di int, res cluster.StepResult) error {
+	if fs.auto != nil {
+		for _, id := range res.Generated {
+			delete(fs.waiting, id)
+		}
+	}
 	if len(res.Preempted) == 0 || !fs.cfg.Migrate || !fs.ic.Usable() {
 		return nil
 	}
@@ -306,26 +371,45 @@ func (fs *fleetSim) onStep(di int, res cluster.StepResult) error {
 	return nil
 }
 
-// react runs at every engine-call and dispatch boundary: retry the
-// held queue against freed headroom, then let idle decoders steal.
+// react runs at every engine-call and dispatch boundary: let the
+// autoscaler reshape the pool, retry the held queue against freed (or
+// freshly provisioned) headroom, then let idle decoders steal.
 func (fs *fleetSim) react(now float64) error {
+	fs.autoscale(now)
 	fs.placeHeld(now)
 	fs.trySteal(now)
 	return nil
 }
 
-// idleWork retries the held queue once the fleet is fully drained; a
-// held request that still fits nowhere is a permanent stall.
+// idleWork retries the held queue once the fleet is fully drained. An
+// autoscaled fleet gets a policy decision first, and — if the policy
+// holds back (cooldown) while requests sit unplaceable — a backstop
+// provision of one standby, so a drained-to-zero fleet never stalls on
+// capacity it owns. A held request that still fits nowhere is a
+// permanent stall.
 func (fs *fleetSim) idleWork() (bool, error) {
 	if len(fs.held) == 0 {
 		return false, nil
 	}
 	n := len(fs.held)
-	fs.placeHeld(fs.clock)
-	if len(fs.held) == n {
-		return false, fmt.Errorf("serve: %d requests held with no fleet replica able to admit them", n)
+	fs.autoscale(fs.clock)
+	if fs.events.Len() > 0 {
+		return true, nil // a provision is warming; its landing resumes placement
 	}
-	return true, nil
+	fs.placeHeld(fs.clock)
+	if len(fs.held) < n {
+		return true, nil
+	}
+	if fs.auto != nil && fs.provision(fs.clock, 1) > 0 {
+		if fs.events.Len() > 0 {
+			return true, nil
+		}
+		fs.placeHeld(fs.clock)
+		if len(fs.held) < n {
+			return true, nil
+		}
+	}
+	return false, fmt.Errorf("serve: %d requests held with no fleet replica able to admit them", n)
 }
 
 // considerMigration decides a preempted request's fate: move its live
@@ -344,7 +428,7 @@ func (fs *fleetSim) considerMigration(di int, v workload.Request) error {
 	dst := -1
 	var bestFree int64 = -1
 	for i, o := range fs.decoders {
-		if i == di || !o.eng.HasHeadroom(v) {
+		if i == di || fs.state[i] != stateOnline || !o.eng.HasHeadroom(v) {
 			continue
 		}
 		if free := o.eng.FreeKVBytes(); free > bestFree {
@@ -372,9 +456,12 @@ func (fs *fleetSim) dispatch(_ context.Context, e *event) error {
 		return fs.routeArrival(e)
 	case evHandoff:
 		if e.dst >= 0 {
+			fs.landing[e.dst]--
 			return fs.enqueueOn(e.dst, e.rec)
 		}
-		// Disaggregated handoff: the KV is staged, place it now.
+		// Disaggregated handoff: the KV is staged, place it now (after
+		// an autoscale decision — the landing is a placement boundary).
+		fs.autoscale(e.at)
 		if dst := fs.place(e.rec.req); dst >= 0 {
 			return fs.enqueueOn(dst, e.rec)
 		}
@@ -389,6 +476,30 @@ func (fs *fleetSim) dispatch(_ context.Context, e *event) error {
 		}
 		fs.wake(e.dst)
 		return nil
+	case evProvision:
+		if fs.state[e.dst] != stateWarming {
+			return fmt.Errorf("serve: provision landed on replica %d in state %v", e.dst, fs.state[e.dst])
+		}
+		fs.setOnline(e.dst, e.at)
+		return nil
+	case evDrain:
+		if fs.state[e.dst] != stateDraining {
+			return fmt.Errorf("serve: drain landed on replica %d in state %v", e.dst, fs.state[e.dst])
+		}
+		d := fs.decoders[e.dst]
+		if !d.eng.Idle() || fs.incoming[e.dst] > 0 || fs.landing[e.dst] > 0 {
+			return fmt.Errorf("serve: draining replica %d still holds work at t=%g", e.dst, e.at)
+		}
+		fs.state[e.dst] = stateOffline
+		since := fs.onlineSince[e.dst]
+		if since < fs.firstArrival {
+			since = fs.firstArrival
+		}
+		if e.at > since {
+			fs.onlineSecs[e.dst] += e.at - since
+		}
+		fs.recordScale(e.at, -1)
+		return nil
 	default:
 		return fmt.Errorf("serve: unknown fleet event kind %d", int(e.kind))
 	}
@@ -402,6 +513,14 @@ func (fs *fleetSim) dispatch(_ context.Context, e *event) error {
 // request owes its prefill once placed.
 func (fs *fleetSim) routeArrival(e *event) error {
 	rec := e.rec
+	if fs.auto != nil {
+		// The arrival joins the waiting set before the scale decision,
+		// so the autoscaler sees it — and an always-scale policy brings
+		// the whole fleet up before this very placement (the fixed-fleet
+		// equivalence hinges on that ordering).
+		fs.waiting[rec.req.ID] = rec
+		fs.autoscale(e.at)
+	}
 	if len(fs.prefills) > 0 {
 		p := fs.pickPrefill()
 		end := p.serve(e.at, rec.req.Context)
@@ -426,6 +545,7 @@ func (fs *fleetSim) routeArrival(e *event) error {
 // schedules the (transfer-free) handoff into its own decode queue.
 func (fs *fleetSim) localPrefill(dst int, rec *record, now float64) {
 	end := fs.decoders[dst].pre.serve(now, rec.req.Context)
+	fs.landing[dst]++
 	fs.push(evHandoff, rec, 0, dst, end)
 }
 
@@ -442,6 +562,8 @@ func (fs *fleetSim) pickPrefill() *prefillServer {
 }
 
 // place asks the placement policy for a decode replica, -1 to hold.
+// Replicas that are not online (standby, warming, draining) are never
+// placement targets: they show as non-fitting with zero headroom.
 func (fs *fleetSim) place(r workload.Request) int {
 	loads := make([]FleetLoad, len(fs.decoders))
 	for i, d := range fs.decoders {
@@ -455,6 +577,10 @@ func (fs *fleetSim) place(r workload.Request) int {
 			Role:        d.role,
 			FreeKVBytes: d.eng.FreeKVBytes(),
 			Fits:        d.eng.HasHeadroom(r),
+		}
+		if fs.state[i] != stateOnline {
+			loads[i].Fits = false
+			loads[i].FreeKVBytes = 0
 		}
 	}
 	dst := fs.placement.Place(r, loads)
@@ -512,7 +638,7 @@ func (fs *fleetSim) trySteal(now float64) {
 		return
 	}
 	for di, d := range fs.decoders {
-		if !d.eng.Idle() || fs.incoming[di] > 0 {
+		if fs.state[di] != stateOnline || !d.eng.Idle() || fs.incoming[di] > 0 {
 			continue
 		}
 		src := -1
@@ -562,6 +688,123 @@ func (fs *fleetSim) trySteal(now float64) {
 	}
 }
 
+// autoscale gives the policy one decision at a boundary and applies
+// it, clamped to what exists (standby pool going up, idle online
+// replicas going down). No-op for fixed fleets.
+func (fs *fleetSim) autoscale(now float64) {
+	if fs.auto == nil {
+		return
+	}
+	switch n := fs.auto.Scale(fs.view(now)); {
+	case n > 0:
+		fs.provision(now, n)
+	case n < 0:
+		fs.drainIdle(now, -n)
+	}
+}
+
+// view snapshots the fleet for one autoscaling decision. Every field
+// is a deterministic fold over slices in index order (the waiting-set
+// maximum is order-independent), keeping autoscaled runs byte-stable.
+func (fs *fleetSim) view(now float64) AutoscaleView {
+	v := AutoscaleView{Now: now, SLO: fs.cfg.SLO, Held: len(fs.held)}
+	var free, pool int64
+	for i, d := range fs.decoders {
+		switch fs.state[i] {
+		case stateOnline:
+			v.Online++
+			v.Queued += d.eng.Pending()
+			v.Active += d.eng.Active()
+			free += d.eng.FreeKVBytes()
+			pool += d.eng.KVPoolBytes()
+			if d.eng.Idle() && fs.incoming[i] == 0 && fs.landing[i] == 0 {
+				v.IdleOnline++
+			}
+		case stateWarming:
+			v.Warming++
+		case stateOffline:
+			v.Standby++
+		}
+	}
+	if pool > 0 {
+		v.FreeKVFrac = float64(free) / float64(pool)
+	}
+	for _, rec := range fs.waiting {
+		if w := now - rec.arrival; w > v.OldestWaitSeconds {
+			v.OldestWaitSeconds = w
+		}
+	}
+	return v
+}
+
+// provision brings up to k standby replicas online, lowest index
+// first, and reports how many it started. A spec with zero warm-up
+// comes online synchronously at the decision time (this is what makes
+// a zero-warm-up always-scale policy reproduce the fixed fleet
+// exactly); otherwise the replica warms until its evProvision lands.
+func (fs *fleetSim) provision(now float64, k int) int {
+	done := 0
+	for i := 0; i < len(fs.decoders) && done < k; i++ {
+		if fs.state[i] != stateOffline {
+			continue
+		}
+		fs.stats.ScaleUps++
+		if w := fs.cfg.Fleet[fs.decoders[i].spec].WarmupSeconds; w > 0 {
+			fs.state[i] = stateWarming
+			fs.push(evProvision, nil, 0, i, now+w)
+		} else {
+			fs.state[i] = stateWarming
+			fs.setOnline(i, now)
+		}
+		done++
+	}
+	return done
+}
+
+// setOnline completes a provision: the replica joins the online pool
+// at t, with its idle clock pulled up so its first work starts no
+// earlier than its arrival into the pool.
+func (fs *fleetSim) setOnline(i int, t float64) {
+	fs.state[i] = stateOnline
+	fs.onlineSince[i] = t
+	if d := fs.decoders[i]; d.eng.Idle() && d.clock < t {
+		d.clock = t
+	}
+	fs.recordScale(t, +1)
+}
+
+// drainIdle retires up to k idle online replicas, highest index first
+// (the low indices stay as the stable base the provision order
+// rebuilds). Each drain is an evDrain at the decision time; flipping
+// to stateDraining immediately keeps placement, stealing and
+// migration off the replica until the event lands.
+func (fs *fleetSim) drainIdle(now float64, k int) {
+	for i := len(fs.decoders) - 1; i >= 0 && k > 0; i-- {
+		if fs.state[i] != stateOnline || !fs.decoders[i].eng.Idle() ||
+			fs.incoming[i] > 0 || fs.landing[i] > 0 {
+			continue
+		}
+		fs.state[i] = stateDraining
+		fs.push(evDrain, nil, 0, i, now)
+		k--
+	}
+}
+
+// recordScale appends one timeline entry after a replica-set change
+// and keeps the action counters.
+func (fs *fleetSim) recordScale(at float64, delta int) {
+	online := 0
+	for _, st := range fs.state {
+		if st == stateOnline {
+			online++
+		}
+	}
+	fs.stats.ScaleEvents = append(fs.stats.ScaleEvents, ScaleEvent{At: at, Delta: delta, Online: online})
+	if delta < 0 {
+		fs.stats.Drains++
+	}
+}
+
 // report folds the shared per-request records plus the fleet extras.
 func (fs *fleetSim) report(arrivals []workload.Arrival) (*Report, error) {
 	reps := make([]*replica, len(fs.decoders))
@@ -578,20 +821,58 @@ func (fs *fleetSim) report(arrivals []workload.Arrival) (*Report, error) {
 	for _, p := range fs.prefills {
 		st.PrefillSeconds += p.busy
 	}
-	var picoJoules float64
-	tokens := 0
 	for _, d := range fs.decoders {
 		if d.pre != nil {
 			st.PrefillSeconds += d.pre.busy
 		}
-		ae, fe := d.eng.Energy()
-		picoJoules += ae.Total() + fe.Total()
 	}
-	for _, s := range rep.PerReplica {
-		tokens += s.Tokens
+	// The energy fold (foldReport) accumulated the decoders' joules in
+	// the same replica order as before; mirror its per-token figure.
+	st.JoulesPerToken = rep.Energy.JoulesPerToken
+	// Provisioning: decode replicas for their online seconds — the
+	// whole makespan for a fixed fleet, the provision-to-drain integral
+	// for an autoscaled one — plus dedicated prefill servers, kept
+	// online for the whole run.
+	secs := make([]float64, len(fs.decoders))
+	hourly := make([]float64, len(fs.decoders))
+	for i, d := range fs.decoders {
+		hourly[i] = d.sys.CostPerHour()
 	}
-	if tokens > 0 {
-		st.JoulesPerToken = picoJoules * 1e-12 / float64(tokens)
+	if fs.auto == nil {
+		for i := range fs.decoders {
+			secs[i] = rep.MakespanSeconds
+		}
+	} else {
+		// Close the still-open online intervals at the exact makespan
+		// end (recomputed here as foldReport computes it, so a replica
+		// online since the first arrival is charged bit-identically to
+		// the fixed fleet's MakespanSeconds).
+		end := fs.firstArrival
+		for _, a := range arrivals {
+			if rec := fs.recs[a.Req.ID]; rec.done+rec.prefill > end {
+				end = rec.done + rec.prefill
+			}
+		}
+		for i := range fs.decoders {
+			if fs.state[i] == stateOnline {
+				since := fs.onlineSince[i]
+				if since < fs.firstArrival {
+					since = fs.firstArrival
+				}
+				if end > since {
+					fs.onlineSecs[i] += end - since
+				}
+			}
+			secs[i] = fs.onlineSecs[i]
+		}
+	}
+	var prefillDollars float64
+	for _, p := range fs.prefills {
+		prefillDollars += rep.MakespanSeconds / 3600 * p.sys.CostPerHour()
+	}
+	priceReport(rep, secs, hourly, prefillDollars)
+	if rep.MakespanSeconds > 0 {
+		st.AvgOnlineReplicas = rep.Energy.ReplicaSeconds / rep.MakespanSeconds
 	}
 	rep.Fleet = &st
 	return rep, nil

@@ -44,6 +44,7 @@ import (
 	"sort"
 
 	"pimphony/internal/cluster"
+	"pimphony/internal/energy"
 	"pimphony/internal/timing"
 	"pimphony/internal/workload"
 )
@@ -122,6 +123,13 @@ type Config struct {
 	// requests from the most backlogged replica (prompt KV moves over
 	// the interconnect).
 	Steal bool
+	// Autoscaler, when non-nil, lets the fleet's global scheduler grow
+	// and shrink the online decode-replica set while the run plays out:
+	// each spec starts with Min replicas online, the rest standby, and
+	// scale-ups pay the spec's WarmupSeconds (see autoscale.go). Fleet
+	// mode only; nil keeps every replica online for the whole run. Like
+	// Policy, each Run needs a fresh instance.
+	Autoscaler Autoscaler
 	// LeapHorizon caps iterations per engine leap in fleet mode, so a
 	// draining replica cannot run arbitrarily far past the next global
 	// event (0 = the fleetLeapHorizon default). Reports are identical
@@ -139,6 +147,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("serve: Replicas must be positive, got %d", c.Replicas)
 	case c.Policy == nil:
 		return fmt.Errorf("serve: Policy is required")
+	case c.Autoscaler != nil:
+		return fmt.Errorf("serve: Autoscaler requires fleet mode (set Fleet specs)")
 	}
 	return nil
 }
@@ -219,6 +229,40 @@ type CapacityStats struct {
 	RecomputeSeconds float64
 }
 
+// EnergyStats prices one serving run: the modeled device energy of the
+// decode replicas and the provisioning cost of everything that was kept
+// online, folded into the per-token production metrics (joules/token,
+// cost/Mtok, goodput per dollar). Energy comes from the backends'
+// module model (internal/energy; the GPU baseline prices no module
+// energy, so its joules are zero by construction) and is charged at the
+// grid electricity rate; provisioning comes from each replica's
+// System.CostPerHour times the seconds it was online — which is where
+// an autoscaled fleet earns its keep against a fixed one.
+type EnergyStats struct {
+	// DecodeJoules is the modeled decode energy across replicas, in
+	// joules.
+	DecodeJoules float64
+	// JoulesPerToken is DecodeJoules per generated token (zero for
+	// backends without an energy model).
+	JoulesPerToken float64
+	// ReplicaSeconds is the total decode-replica online time: replicas x
+	// makespan for a fixed fleet, the provision-to-drain integral for an
+	// autoscaled one.
+	ReplicaSeconds float64
+	// ProvisionDollars charges ReplicaSeconds (plus any dedicated
+	// prefill servers, kept online for the whole run) at each replica's
+	// CostPerHour; EnergyDollars charges DecodeJoules at the grid rate;
+	// Dollars is their sum.
+	ProvisionDollars float64
+	EnergyDollars    float64
+	Dollars          float64
+	// CostPerMTok is Dollars per million generated tokens.
+	CostPerMTok float64
+	// GoodTokensPerDollar is the run's production metric: SLO-compliant
+	// tokens per dollar spent.
+	GoodTokensPerDollar float64
+}
+
 // Report is the outcome of one serving simulation.
 type Report struct {
 	Policy   string
@@ -238,10 +282,17 @@ type Report struct {
 	Goodput float64
 	// SLOMet is the fraction of requests that met the SLO.
 	SLOMet float64
+	// Tokens / GoodTokens are the generated decode tokens in total and
+	// from SLO-compliant requests (the numerators of Throughput and
+	// Goodput).
+	Tokens, GoodTokens int
 	// Latency distributions across completed requests.
 	TTFT, TBT, E2E Quantiles
 	// Capacity aggregates the KV-allocator behaviour across replicas.
 	Capacity CapacityStats
+	// Energy prices the run: modeled joules/token plus provisioning and
+	// electricity dollars (see EnergyStats).
+	Energy EnergyStats
 	// PerReplica breaks the work down by replica.
 	PerReplica []ReplicaStats
 	// Fleet carries the fleet-mode extras — roles, transfer accounting,
@@ -354,9 +405,22 @@ func Run(ctx context.Context, cfg Config, arrivals []workload.Arrival) (*Report,
 	return s.report(arrivals)
 }
 
-// report folds the per-request records into the SLO metrics.
+// report folds the per-request records into the SLO metrics and prices
+// the run: every classic-path replica is provisioned for the whole
+// makespan.
 func (s *sim) report(arrivals []workload.Arrival) (*Report, error) {
-	return foldReport(s.recs, arrivals, s.cfg.SLO, s.cfg.Policy.Name(), s.replicas)
+	rep, err := foldReport(s.recs, arrivals, s.cfg.SLO, s.cfg.Policy.Name(), s.replicas)
+	if err != nil {
+		return nil, err
+	}
+	secs := make([]float64, len(s.replicas))
+	hourly := make([]float64, len(s.replicas))
+	for i, r := range s.replicas {
+		secs[i] = rep.MakespanSeconds
+		hourly[i] = r.sys.CostPerHour()
+	}
+	priceReport(rep, secs, hourly, 0)
+	return rep, nil
 }
 
 // foldReport turns per-request records and replica counters into a
@@ -437,9 +501,43 @@ func foldReport(recs map[int]*record, arrivals []workload.Arrival, slo SLO, poli
 		rep.Throughput = float64(allTokens) / rep.MakespanSeconds
 		rep.Goodput = float64(goodTokens) / rep.MakespanSeconds
 	}
+	rep.Tokens = allTokens
+	rep.GoodTokens = goodTokens
 	rep.SLOMet = float64(met) / float64(len(recs))
 	rep.TTFT = quantiles(ttfts)
 	rep.TBT = quantiles(tbts)
 	rep.E2E = quantiles(e2es)
+	// Decode energy, accumulated in replica index order (the float
+	// addition order is pinned — the fleet tables hash it).
+	var picoJoules float64
+	for _, r := range replicas {
+		ae, fe := r.eng.Energy()
+		picoJoules += ae.Total() + fe.Total()
+	}
+	rep.Energy.DecodeJoules = picoJoules * 1e-12
+	if allTokens > 0 {
+		rep.Energy.JoulesPerToken = picoJoules * 1e-12 / float64(allTokens)
+	}
 	return rep, nil
+}
+
+// priceReport fills the dollar half of Report.Energy: decode replicas
+// charged for their online seconds at their CostPerHour, plus any
+// always-on extras (dedicated prefill servers), plus the modeled energy
+// at the grid electricity rate.
+func priceReport(rep *Report, onlineSeconds, dollarsPerHour []float64, extraDollars float64) {
+	e := &rep.Energy
+	for i, secs := range onlineSeconds {
+		e.ReplicaSeconds += secs
+		e.ProvisionDollars += secs / 3600 * dollarsPerHour[i]
+	}
+	e.ProvisionDollars += extraDollars
+	e.EnergyDollars = energy.GridDollars(e.DecodeJoules)
+	e.Dollars = e.ProvisionDollars + e.EnergyDollars
+	if e.Dollars > 0 {
+		if rep.Tokens > 0 {
+			e.CostPerMTok = e.Dollars / float64(rep.Tokens) * 1e6
+		}
+		e.GoodTokensPerDollar = float64(rep.GoodTokens) / e.Dollars
+	}
 }
