@@ -10,7 +10,7 @@ BACKEND_COVER_MIN ?= 80
 # placement seams (make cover-serve / CI).
 SERVE_COVER_MIN ?= 85
 
-.PHONY: all fmt fmt-check vet staticcheck build examples test test-short race-serve fuzz-smoke fleet autoscale bench bench-check bench-baseline cover cover-serve ci
+.PHONY: all fmt fmt-check vet staticcheck build examples test test-short race-serve fuzz-smoke fleet autoscale megafleet bench bench-check bench-baseline cover cover-serve ci
 
 all: build
 
@@ -77,6 +77,12 @@ fleet:
 # goodput per dollar (the README's autoscale table).
 autoscale:
 	$(GO) run ./cmd/pimphony-bench -run autoscale
+
+# Render the megafleet scaling study on the full grids: SLO-autoscaled
+# fleets from 100 to 10k replicas under a diurnal trace, per-replica
+# load held constant (the scheduler-scaling table).
+megafleet:
+	$(GO) run ./cmd/pimphony-bench -run megafleet
 
 # One iteration of every paper-figure benchmark on the short grids.
 bench:

@@ -147,6 +147,11 @@ func BenchmarkAblationPrefill(b *testing.B) { runExperiment(b, "abl-prefill") }
 // with goodput and p50/p95/p99 TTFT/TBT under the SLO.
 func BenchmarkServeCurve(b *testing.B) { runExperiment(b, "serve") }
 
+// BenchmarkMegafleetScale regenerates the scheduler-scaling table:
+// SLO-autoscaled fleets from 100 to 10k replicas (50/200 in -short)
+// under a diurnal trace, per-replica load held constant.
+func BenchmarkMegafleetScale(b *testing.B) { runExperiment(b, "megafleet") }
+
 // BenchmarkCapacityGap regenerates the online Static-vs-DPA capacity
 // study: heavy-tailed and multi-turn schedules served at an equal
 // per-replica KV budget, with admission, preemption and pool

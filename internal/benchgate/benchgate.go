@@ -35,7 +35,9 @@ const Schema = 1
 // DefaultIDs are the gated experiments: the serving-path studies plus
 // the cross-backend comparison, whose tables CI pins (the batch figures
 // are covered by the bench smoke).
-func DefaultIDs() []string { return []string{"autoscale", "capacity", "fleet", "serve", "systems"} }
+func DefaultIDs() []string {
+	return []string{"autoscale", "capacity", "fleet", "megafleet", "serve", "systems"}
+}
 
 // Entry is one experiment's measurement.
 type Entry struct {

@@ -111,6 +111,7 @@ var registry = map[string]entry{
 	"capacity":  {CapacityGap, "online Static-vs-DPA capacity gap at an equal KV budget"},
 	"fleet":     {FleetCompare, "homogeneous vs disaggregated prefill/decode fleets at equal KV budget"},
 	"autoscale": {AutoscaleStudy, "fixed vs SLO-driven autoscaled fleet under bursty traffic, goodput per dollar"},
+	"megafleet": {MegafleetScale, "scheduler scaling from 100 to 10k autoscaled replicas under a diurnal trace"},
 
 	// Design-choice ablations beyond the paper's figures.
 	"abl-ismac":   {AblationIsMAC, "MAC-command issue-interval sensitivity"},

@@ -137,7 +137,7 @@ func TestIDsSortedAndStable(t *testing.T) {
 func TestParallelMatchesSequential(t *testing.T) {
 	prevShort := SetShort(true)
 	t.Cleanup(func() { SetShort(prevShort) })
-	for _, id := range []string{"fig8", "fig13", "fig15", "fig19", "serve", "capacity", "fleet"} {
+	for _, id := range []string{"fig8", "fig13", "fig15", "fig19", "serve", "capacity", "fleet", "megafleet"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			prev := sweep.SetDefault(1)

@@ -1,0 +1,68 @@
+package serve
+
+import "testing"
+
+// TestDequeFIFOAndPrepend checks the ring against a reference slice
+// through mixed pushBack/pushFront/popFront traffic that forces several
+// growths and full wrap-arounds.
+func TestDequeFIFOAndPrepend(t *testing.T) {
+	var d deque[int]
+	var ref []int
+	s := uint64(99)
+	next := func(m int) int {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return int(s % uint64(m))
+	}
+	val := 0
+	for op := 0; op < 20000; op++ {
+		switch next(5) {
+		case 0, 1:
+			val++
+			d.pushBack(val)
+			ref = append(ref, val)
+		case 2:
+			val++
+			d.pushFront(val)
+			ref = append([]int{val}, ref...)
+		default:
+			if len(ref) == 0 {
+				if d.len() != 0 {
+					t.Fatalf("op %d: len %d, want 0", op, d.len())
+				}
+				continue
+			}
+			if got := d.front(); got != ref[0] {
+				t.Fatalf("op %d: front %d, want %d", op, got, ref[0])
+			}
+			if got := d.popFront(); got != ref[0] {
+				t.Fatalf("op %d: popFront %d, want %d", op, got, ref[0])
+			}
+			ref = ref[1:]
+		}
+		if d.len() != len(ref) {
+			t.Fatalf("op %d: len %d, want %d", op, d.len(), len(ref))
+		}
+	}
+	// Drain and verify the full remaining order.
+	for i, want := range ref {
+		if got := d.popFront(); got != want {
+			t.Fatalf("drain %d: got %d, want %d", i, got, want)
+		}
+	}
+	if d.len() != 0 {
+		t.Errorf("drained deque has len %d", d.len())
+	}
+}
+
+// TestDequeReleasesReferences: popped slots must not pin pointers.
+func TestDequeReleasesReferences(t *testing.T) {
+	var d deque[*int]
+	v := new(int)
+	d.pushBack(v)
+	d.popFront()
+	if d.buf[0] != nil {
+		t.Error("popFront left a live pointer in the ring")
+	}
+}

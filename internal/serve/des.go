@@ -322,7 +322,15 @@ func (s *spine) run(ctx context.Context) error {
 		if e.at > s.clock {
 			s.clock = e.at
 		}
-		s.syncIdle(e.at)
+		// Interleaved mode pulls idle clocks lazily at their use sites
+		// (enqueue, resume, provision, the []FleetLoad snapshot) instead
+		// of sweeping all n replicas on every event — the sweep is the
+		// one per-event cost that grows with fleet size. The classic
+		// disciplines keep the eager sync: their policies see Load.Clock
+		// for every replica on every pick.
+		if s.sync != syncInterleaved {
+			s.syncIdle(e.at)
+		}
 		if err := s.sched.dispatch(ctx, e); err != nil {
 			return err
 		}

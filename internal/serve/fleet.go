@@ -231,9 +231,16 @@ type fleetSim struct {
 	cfg       Config
 	ic        timing.Interconnect
 	placement Placement
-	decoders  []*fleetReplica
-	prefills  []*prefillServer
-	held      []heldReq
+	// indexed is the placement's O(log n) fast path (nil for custom
+	// policies, which fall back to the scratch-built []FleetLoad scan).
+	indexed  indexedPlacement
+	decoders []*fleetReplica
+	prefills []*prefillServer
+	held     deque[heldReq]
+	// views holds the incrementally maintained scheduler indexes and
+	// autoscale aggregates (views.go), kept in step with every engine
+	// call and lifecycle change via touch/setState.
+	views fleetViews
 	// incoming counts KV transfers in flight toward each decoder, so
 	// stealing never targets a replica that already has work landing.
 	incoming []int
@@ -254,7 +261,11 @@ type fleetSim struct {
 	// waiting tracks arrived requests that have not produced their
 	// first token, for AutoscaleView.OldestWaitSeconds (nil when auto
 	// is nil).
-	waiting      map[int]*record
+	waiting map[int]*record
+	// waitq holds the waiting records in arrival order with lazy
+	// deletion (the waiting map is the membership marker), so the
+	// oldest-wait fold is a front peek instead of a map scan.
+	waitq        deque[*record]
 	firstArrival float64
 }
 
@@ -324,6 +335,8 @@ func newFleetSim(cfg Config, n int) (*fleetSim, error) {
 		readyGen: make([]int, len(reps)),
 		sched:    fs,
 	}
+	fs.indexed, _ = fs.placement.(indexedPlacement)
+	fs.initViews()
 	return fs, nil
 }
 
@@ -355,6 +368,7 @@ func runFleet(ctx context.Context, cfg Config, arrivals []workload.Arrival) (*Re
 // requests from the autoscaler's waiting set, and any preemptions the
 // step produced become migration candidates.
 func (fs *fleetSim) onStep(di int, res cluster.StepResult) error {
+	fs.touch(di)
 	if fs.auto != nil {
 		for _, id := range res.Generated {
 			delete(fs.waiting, id)
@@ -388,16 +402,16 @@ func (fs *fleetSim) react(now float64) error {
 // capacity it owns. A held request that still fits nowhere is a
 // permanent stall.
 func (fs *fleetSim) idleWork() (bool, error) {
-	if len(fs.held) == 0 {
+	if fs.held.len() == 0 {
 		return false, nil
 	}
-	n := len(fs.held)
+	n := fs.held.len()
 	fs.autoscale(fs.clock)
 	if fs.events.Len() > 0 {
 		return true, nil // a provision is warming; its landing resumes placement
 	}
 	fs.placeHeld(fs.clock)
-	if len(fs.held) < n {
+	if fs.held.len() < n {
 		return true, nil
 	}
 	if fs.auto != nil && fs.provision(fs.clock, 1) > 0 {
@@ -405,7 +419,7 @@ func (fs *fleetSim) idleWork() (bool, error) {
 			return true, nil
 		}
 		fs.placeHeld(fs.clock)
-		if len(fs.held) < n {
+		if fs.held.len() < n {
 			return true, nil
 		}
 	}
@@ -425,26 +439,30 @@ func (fs *fleetSim) considerMigration(di int, v workload.Request) error {
 	if transfer >= d.sys.PrefillSeconds(kvTokens) {
 		return nil // recompute locally is at least as cheap
 	}
+	// byFreeKV visits online decoders by free KV descending, ties to the
+	// lowest index — the first entry (other than the preempting replica)
+	// that can admit the request is exactly the linear scan's roomiest
+	// destination.
 	dst := -1
-	var bestFree int64 = -1
-	for i, o := range fs.decoders {
-		if i == di || fs.state[i] != stateOnline || !o.eng.HasHeadroom(v) {
-			continue
+	fs.views.byFreeKV.ascend(func(i int) bool {
+		if i == di || !fs.decoders[i].eng.HasHeadroom(v) {
+			return true
 		}
-		if free := o.eng.FreeKVBytes(); free > bestFree {
-			dst, bestFree = i, free
-		}
-	}
+		dst = i
+		return false
+	})
 	if dst < 0 {
 		return nil // nowhere to go; recompute path
 	}
 	if _, _, err := d.eng.Withdraw(v.ID); err != nil {
 		return err
 	}
+	fs.touch(di)
 	fs.stats.Migrations++
 	fs.stats.TransferBytes += bytes
 	fs.stats.TransferSeconds += transfer
 	fs.incoming[dst]++
+	fs.touch(dst)
 	fs.push(evMigrated, fs.recs[v.ID], gen, dst, d.clock+transfer)
 	return nil
 }
@@ -465,15 +483,20 @@ func (fs *fleetSim) dispatch(_ context.Context, e *event) error {
 		if dst := fs.place(e.rec.req); dst >= 0 {
 			return fs.enqueueOn(dst, e.rec)
 		}
-		fs.held = append(fs.held, heldReq{rec: e.rec})
+		fs.held.pushBack(heldReq{rec: e.rec})
 		fs.stats.Held++
 		return nil
 	case evMigrated, evStolen:
 		fs.incoming[e.dst]--
 		e.rec.replica = e.dst
-		if err := fs.decoders[e.dst].eng.EnqueueResumed(e.rec.req, e.gen); err != nil {
+		d := fs.decoders[e.dst]
+		if d.eng.Idle() && d.clock < e.at {
+			d.clock = e.at // lazy idle-clock pull; see enqueueOn
+		}
+		if err := d.eng.EnqueueResumed(e.rec.req, e.gen); err != nil {
 			return err
 		}
+		fs.touch(e.dst)
 		fs.wake(e.dst)
 		return nil
 	case evProvision:
@@ -490,7 +513,7 @@ func (fs *fleetSim) dispatch(_ context.Context, e *event) error {
 		if !d.eng.Idle() || fs.incoming[e.dst] > 0 || fs.landing[e.dst] > 0 {
 			return fmt.Errorf("serve: draining replica %d still holds work at t=%g", e.dst, e.at)
 		}
-		fs.state[e.dst] = stateOffline
+		fs.setState(e.dst, stateOffline)
 		since := fs.onlineSince[e.dst]
 		if since < fs.firstArrival {
 			since = fs.firstArrival
@@ -519,11 +542,14 @@ func (fs *fleetSim) routeArrival(e *event) error {
 		// the whole fleet up before this very placement (the fixed-fleet
 		// equivalence hinges on that ordering).
 		fs.waiting[rec.req.ID] = rec
+		fs.waitq.pushBack(rec)
 		fs.autoscale(e.at)
 	}
 	if len(fs.prefills) > 0 {
-		p := fs.pickPrefill()
+		pi := fs.pickPrefill()
+		p := fs.prefills[pi]
 		end := p.serve(e.at, rec.req.Context)
+		fs.touchPrefill(pi, p)
 		bytes := int64(rec.req.Context) * fs.bpt
 		transfer := fs.ic.TransferSeconds(bytes)
 		fs.stats.Handoffs++
@@ -536,7 +562,7 @@ func (fs *fleetSim) routeArrival(e *event) error {
 		fs.localPrefill(dst, rec, e.at)
 		return nil
 	}
-	fs.held = append(fs.held, heldReq{rec: rec, needsPrefill: true})
+	fs.held.pushBack(heldReq{rec: rec, needsPrefill: true})
 	fs.stats.Held++
 	return nil
 }
@@ -546,33 +572,45 @@ func (fs *fleetSim) routeArrival(e *event) error {
 func (fs *fleetSim) localPrefill(dst int, rec *record, now float64) {
 	end := fs.decoders[dst].pre.serve(now, rec.req.Context)
 	fs.landing[dst]++
+	fs.touch(dst)
 	fs.push(evHandoff, rec, 0, dst, end)
 }
 
 // pickPrefill picks the earliest-available dedicated prefill server
-// (ties to the lowest index).
-func (fs *fleetSim) pickPrefill() *prefillServer {
-	best := fs.prefills[0]
-	for _, p := range fs.prefills[1:] {
-		if p.free < best.free {
-			best = p
-		}
-	}
-	return best
+// (ties to the lowest index): the first entry of the free-time index.
+func (fs *fleetSim) pickPrefill() int {
+	return fs.views.prefillFree.first()
 }
 
 // place asks the placement policy for a decode replica, -1 to hold.
 // Replicas that are not online (standby, warming, draining) are never
-// placement targets: they show as non-fitting with zero headroom.
+// placement targets: they show as non-fitting with zero headroom. The
+// built-in policies answer from the ordered indexes in O(log n); a
+// custom Placement still sees the full []FleetLoad snapshot, built into
+// a reused scratch buffer.
 func (fs *fleetSim) place(r workload.Request) int {
-	loads := make([]FleetLoad, len(fs.decoders))
+	if fs.indexed != nil {
+		return fs.indexed.placeIndexed(fs, r)
+	}
+	v := &fs.views
+	if cap(v.loadScratch) < len(fs.decoders) {
+		v.loadScratch = make([]FleetLoad, len(fs.decoders))
+	}
+	loads := v.loadScratch[:len(fs.decoders)]
 	for i, d := range fs.decoders {
+		// An idle replica's clock is pulled lazily (enqueueOn); the
+		// snapshot shows what the eager every-event sync would have: the
+		// scheduler clock.
+		clk := d.clock
+		if clk < fs.clock && d.eng.Idle() {
+			clk = fs.clock
+		}
 		loads[i] = FleetLoad{
 			Load: Load{
 				OutstandingTokens: d.eng.OutstandingTokens(),
 				Active:            d.eng.Active(),
 				Pending:           d.eng.Pending(),
-				Clock:             d.clock,
+				Clock:             clk,
 			},
 			Role:        d.role,
 			FreeKVBytes: d.eng.FreeKVBytes(),
@@ -590,12 +628,20 @@ func (fs *fleetSim) place(r workload.Request) int {
 	return dst
 }
 
-// enqueueOn commits a prefilled request to a decoder's queue.
+// enqueueOn commits a prefilled request to a decoder's queue. An idle
+// destination's clock is pulled up to the scheduler clock first (the
+// lazy counterpart of the old every-event syncIdle sweep), so the ready
+// entry wake arms lands at now, not at a stale idle timestamp.
 func (fs *fleetSim) enqueueOn(dst int, rec *record) error {
 	rec.replica = dst
-	if err := fs.decoders[dst].eng.Enqueue(rec.req); err != nil {
+	d := fs.decoders[dst]
+	if d.eng.Idle() && d.clock < fs.clock {
+		d.clock = fs.clock
+	}
+	if err := d.eng.Enqueue(rec.req); err != nil {
 		return err
 	}
+	fs.touch(dst)
 	fs.wake(dst)
 	return nil
 }
@@ -604,13 +650,13 @@ func (fs *fleetSim) enqueueOn(dst int, rec *record) error {
 // first request that still fits nowhere (strict FCFS, matching the
 // engines' own queue discipline).
 func (fs *fleetSim) placeHeld(now float64) {
-	for len(fs.held) > 0 {
-		h := fs.held[0]
+	for fs.held.len() > 0 {
+		h := fs.held.front()
 		dst := fs.place(h.rec.req)
 		if dst < 0 {
 			return
 		}
-		fs.held = fs.held[1:]
+		fs.held.popFront()
 		d := fs.decoders[dst]
 		if d.eng.Idle() && d.clock < now {
 			d.clock = now
@@ -624,7 +670,7 @@ func (fs *fleetSim) placeHeld(now float64) {
 		// custom policy routing a duplicate would have failed earlier.
 		if err := fs.enqueueOn(dst, h.rec); err != nil {
 			// Put it back and stop; run() will surface the stall.
-			fs.held = append([]heldReq{h}, fs.held...)
+			fs.held.pushFront(h)
 			return
 		}
 	}
@@ -637,24 +683,35 @@ func (fs *fleetSim) trySteal(now float64) {
 	if !fs.cfg.Steal || !fs.ic.Usable() {
 		return
 	}
-	for di, d := range fs.decoders {
+	v := &fs.views
+	if v.thieves.count == 0 || v.stealSrc.count == 0 {
+		return
+	}
+	// Snapshot the thief set in index order. No replica becomes a thief
+	// mid-loop — a steal only touches the current thief's incoming count
+	// and the source's queue, and sources (Active > 0) are never thieves
+	// — so the snapshot visits exactly the replicas the index-order scan
+	// visited; conditions are still re-checked at each visit.
+	v.thiefScratch = v.thiefScratch[:0]
+	v.thieves.ascend(func(i int) bool {
+		v.thiefScratch = append(v.thiefScratch, i)
+		return true
+	})
+	for _, di := range v.thiefScratch {
+		d := fs.decoders[di]
 		if fs.state[di] != stateOnline || !d.eng.Idle() || fs.incoming[di] > 0 {
 			continue
 		}
-		src := -1
-		for si, s := range fs.decoders {
-			// Steal only from replicas decoding with a backlog: a replica
-			// whose queue is non-empty but idle is about to admit that work
-			// itself, and stealing it back and forth would never converge.
-			if si == di || s.eng.Active() == 0 || s.eng.Pending() == 0 {
-				continue
-			}
-			if src < 0 || s.eng.Pending() > fs.decoders[src].eng.Pending() {
-				src = si
-			}
-		}
+		// The steal-source index orders decoders with an active batch and
+		// a backlog by pending count descending, ties to the lowest index
+		// — its first entry is the linear scan's most backlogged source.
+		// (A replica whose queue is non-empty but idle is about to admit
+		// that work itself, and stealing it back and forth would never
+		// converge; such replicas are not in the index. The thief itself
+		// is idle, so it is never its own source.)
+		src := v.stealSrc.first()
 		if src < 0 {
-			continue
+			return // no sources left for any thief
 		}
 		s := fs.decoders[src]
 		r, ok := s.eng.PeekStealable()
@@ -671,7 +728,11 @@ func (fs *fleetSim) trySteal(now float64) {
 		if !d.eng.HasHeadroom(r) {
 			continue
 		}
-		if r2, ok := s.eng.StealNewest(); !ok || r2.ID != r.ID {
+		r2, ok := s.eng.StealNewest()
+		if ok {
+			fs.touch(src)
+		}
+		if !ok || r2.ID != r.ID {
 			continue
 		}
 		bytes := int64(r.Context) * fs.bpt
@@ -684,6 +745,7 @@ func (fs *fleetSim) trySteal(now float64) {
 		fs.stats.TransferBytes += bytes
 		fs.stats.TransferSeconds += transfer
 		fs.incoming[di]++
+		fs.touch(di)
 		fs.push(evStolen, fs.recs[r.ID], 0, di, at+transfer)
 	}
 }
@@ -703,38 +765,36 @@ func (fs *fleetSim) autoscale(now float64) {
 	}
 }
 
-// view snapshots the fleet for one autoscaling decision. Every field
-// is a deterministic fold over slices in index order (the waiting-set
-// maximum is order-independent), keeping autoscaled runs byte-stable.
+// view snapshots the fleet for one autoscaling decision, entirely from
+// the maintained aggregates — O(1) regardless of fleet size (amortizing
+// the lazy waitq pops), and exactly the fold the per-replica scan
+// produced: the counters accumulate the same integers, FreeKVFrac
+// divides the same int64 sums, and the oldest wait is now minus the
+// earliest still-waiting arrival (arrivals enter the queue in
+// nondecreasing order, so the live front is the minimum).
 func (fs *fleetSim) view(now float64) AutoscaleView {
-	v := AutoscaleView{Now: now, SLO: fs.cfg.SLO, Held: len(fs.held)}
-	var free, pool int64
-	for i, d := range fs.decoders {
-		switch fs.state[i] {
-		case stateOnline:
-			v.Online++
-			v.Queued += d.eng.Pending()
-			v.Active += d.eng.Active()
-			free += d.eng.FreeKVBytes()
-			pool += d.eng.KVPoolBytes()
-			if d.eng.Idle() && fs.incoming[i] == 0 && fs.landing[i] == 0 {
-				v.IdleOnline++
-			}
-		case stateWarming:
-			v.Warming++
-		case stateOffline:
-			v.Standby++
+	v := &fs.views
+	av := AutoscaleView{
+		Now: now, SLO: fs.cfg.SLO, Held: fs.held.len(),
+		Online: v.onlineCnt, Warming: v.warmingCnt, Standby: v.standbyCnt,
+		IdleOnline: v.drainable.count,
+		Queued:     v.queued, Active: v.activeSum,
+	}
+	if v.poolSum > 0 {
+		av.FreeKVFrac = float64(v.freeSum) / float64(v.poolSum)
+	}
+	for fs.waitq.len() > 0 {
+		if _, ok := fs.waiting[fs.waitq.front().req.ID]; ok {
+			break
+		}
+		fs.waitq.popFront()
+	}
+	if fs.waitq.len() > 0 {
+		if w := now - fs.waitq.front().arrival; w > 0 {
+			av.OldestWaitSeconds = w
 		}
 	}
-	if pool > 0 {
-		v.FreeKVFrac = float64(free) / float64(pool)
-	}
-	for _, rec := range fs.waiting {
-		if w := now - rec.arrival; w > v.OldestWaitSeconds {
-			v.OldestWaitSeconds = w
-		}
-	}
-	return v
+	return av
 }
 
 // provision brings up to k standby replicas online, lowest index
@@ -744,16 +804,16 @@ func (fs *fleetSim) view(now float64) AutoscaleView {
 // exactly); otherwise the replica warms until its evProvision lands.
 func (fs *fleetSim) provision(now float64, k int) int {
 	done := 0
-	for i := 0; i < len(fs.decoders) && done < k; i++ {
-		if fs.state[i] != stateOffline {
-			continue
+	for done < k {
+		i := fs.views.standby.first() // lowest-index offline replica
+		if i < 0 {
+			break
 		}
 		fs.stats.ScaleUps++
+		fs.setState(i, stateWarming)
 		if w := fs.cfg.Fleet[fs.decoders[i].spec].WarmupSeconds; w > 0 {
-			fs.state[i] = stateWarming
 			fs.push(evProvision, nil, 0, i, now+w)
 		} else {
-			fs.state[i] = stateWarming
 			fs.setOnline(i, now)
 		}
 		done++
@@ -765,7 +825,7 @@ func (fs *fleetSim) provision(now float64, k int) int {
 // at t, with its idle clock pulled up so its first work starts no
 // earlier than its arrival into the pool.
 func (fs *fleetSim) setOnline(i int, t float64) {
-	fs.state[i] = stateOnline
+	fs.setState(i, stateOnline)
 	fs.onlineSince[i] = t
 	if d := fs.decoders[i]; d.eng.Idle() && d.clock < t {
 		d.clock = t
@@ -779,27 +839,20 @@ func (fs *fleetSim) setOnline(i int, t float64) {
 // to stateDraining immediately keeps placement, stealing and
 // migration off the replica until the event lands.
 func (fs *fleetSim) drainIdle(now float64, k int) {
-	for i := len(fs.decoders) - 1; i >= 0 && k > 0; i-- {
-		if fs.state[i] != stateOnline || !fs.decoders[i].eng.Idle() ||
-			fs.incoming[i] > 0 || fs.landing[i] > 0 {
-			continue
+	for ; k > 0; k-- {
+		i := fs.views.drainable.last() // highest-index idle online replica
+		if i < 0 {
+			return
 		}
-		fs.state[i] = stateDraining
+		fs.setState(i, stateDraining)
 		fs.push(evDrain, nil, 0, i, now)
-		k--
 	}
 }
 
 // recordScale appends one timeline entry after a replica-set change
 // and keeps the action counters.
 func (fs *fleetSim) recordScale(at float64, delta int) {
-	online := 0
-	for _, st := range fs.state {
-		if st == stateOnline {
-			online++
-		}
-	}
-	fs.stats.ScaleEvents = append(fs.stats.ScaleEvents, ScaleEvent{At: at, Delta: delta, Online: online})
+	fs.stats.ScaleEvents = append(fs.stats.ScaleEvents, ScaleEvent{At: at, Delta: delta, Online: fs.views.onlineCnt})
 	if delta < 0 {
 		fs.stats.Drains++
 	}

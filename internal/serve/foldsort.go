@@ -1,0 +1,79 @@
+// The report fold's sorting primitive: an LSD radix sort over the
+// order-preserving integer image of float64, replacing the
+// sort.Float64s call in quantiles. Comparison sorting R latencies per
+// distribution made the report fold O(R log R); the radix passes are
+// O(R) with a single reused scratch buffer, and the resulting ascending
+// sequence is value-identical to sort.Float64s on the latency samples
+// (which contain no NaNs and no negative zeros), so every quantile pick
+// and the mean's left-to-right summation order — and therefore every
+// pinned table — are byte-identical.
+package serve
+
+import "math"
+
+// floatKey maps a float64 to a uint64 whose unsigned order matches the
+// float's ascending order: flip all bits of negatives, set the sign bit
+// of non-negatives.
+func floatKey(x float64) uint64 {
+	b := math.Float64bits(x)
+	if b>>63 == 1 {
+		return ^b
+	}
+	return b | 1<<63
+}
+
+// radixSortFloat64 sorts xs ascending in place. tmp is scratch space of
+// at least len(xs) (allocated here when too small), letting callers
+// reuse one buffer across distributions.
+func radixSortFloat64(xs, tmp []float64) {
+	n := len(xs)
+	if n < 2 {
+		return
+	}
+	if n <= 48 {
+		// Insertion sort: cheaper than eight counting passes, same
+		// ascending value sequence.
+		for i := 1; i < n; i++ {
+			x := xs[i]
+			j := i - 1
+			for j >= 0 && xs[j] > x {
+				xs[j+1] = xs[j]
+				j--
+			}
+			xs[j+1] = x
+		}
+		return
+	}
+	if len(tmp) < n {
+		tmp = make([]float64, n)
+	}
+	// Histogram every byte lane in one pass.
+	var counts [8][256]int
+	for _, x := range xs {
+		k := floatKey(x)
+		for p := 0; p < 8; p++ {
+			counts[p][(k>>(p*8))&0xff]++
+		}
+	}
+	src, dst := xs, tmp[:n]
+	for p := 0; p < 8; p++ {
+		c := &counts[p]
+		// A lane where every key shares one byte value permutes nothing.
+		if c[(floatKey(src[0])>>(p*8))&0xff] == n {
+			continue
+		}
+		sum := 0
+		for i := range c {
+			c[i], sum = sum, sum+c[i]
+		}
+		for _, x := range src {
+			b := (floatKey(x) >> (p * 8)) & 0xff
+			dst[c[b]] = x
+			c[b]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &xs[0] {
+		copy(xs, src)
+	}
+}

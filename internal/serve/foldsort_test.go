@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// TestRadixSortMatchesSortFloat64s: across sizes spanning the insertion
+// threshold and value mixes with negatives, infinities and heavy
+// duplicates, the radix sort must produce the exact value sequence
+// sort.Float64s produces.
+func TestRadixSortMatchesSortFloat64s(t *testing.T) {
+	s := uint64(7)
+	next := func() uint64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return s
+	}
+	tmp := make([]float64, 0)
+	for _, n := range []int{0, 1, 2, 3, 47, 48, 49, 100, 1000, 4096} {
+		for trial := 0; trial < 5; trial++ {
+			xs := make([]float64, n)
+			for i := range xs {
+				switch next() % 5 {
+				case 0:
+					xs[i] = float64(int64(next()%64)) - 32 // duplicates, negatives
+				case 1:
+					xs[i] = math.Inf(1)
+				case 2:
+					xs[i] = -math.Ldexp(float64(next()%1000), -20)
+				default:
+					xs[i] = math.Ldexp(float64(next()%(1<<30)), int(next()%60)-30)
+				}
+			}
+			want := append([]float64(nil), xs...)
+			sort.Float64s(want)
+			radixSortFloat64(xs, tmp)
+			for i := range xs {
+				if xs[i] != want[i] {
+					t.Fatalf("n=%d trial=%d: index %d: radix %g, sort %g", n, trial, i, xs[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestQuantilesMatchesSortedFold pins the fold byte-identity the tables
+// rely on: quantiles over a shuffled sample must equal the
+// sort-then-sum reference, including the mean's float accumulation.
+func TestQuantilesMatchesSortedFold(t *testing.T) {
+	s := uint64(21)
+	next := func() uint64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return s
+	}
+	for _, n := range []int{1, 17, 128, 999} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = math.Ldexp(float64(next()%(1<<24)), int(next()%10)-24)
+		}
+		ref := append([]float64(nil), xs...)
+		sort.Float64s(ref)
+		var sum float64
+		for _, x := range ref {
+			sum += x
+		}
+		rank := func(p float64) float64 {
+			i := int(math.Ceil(p*float64(n))) - 1
+			if i < 0 {
+				i = 0
+			}
+			return ref[i]
+		}
+		want := Quantiles{Mean: sum / float64(n), P50: rank(0.50), P95: rank(0.95), P99: rank(0.99)}
+		if got := quantiles(xs, nil); got != want {
+			t.Fatalf("n=%d: quantiles %+v, want %+v", n, got, want)
+		}
+	}
+}

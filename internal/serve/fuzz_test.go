@@ -70,6 +70,11 @@ func runVariant(t *testing.T, cfg serve.Config, arr []workload.Arrival) (string,
 	return simtest.Fingerprint(rep), true
 }
 
+// hiddenIndex wraps a built-in placement behind an interface embed so
+// its O(log n) fast path is invisible to the scheduler's type
+// assertion, forcing the linear []FleetLoad fallback.
+type hiddenIndex struct{ serve.Placement }
+
 func FuzzDESSchedule(f *testing.F) {
 	f.Add(uint64(1), uint8(4), uint8(0), uint8(0))
 	f.Add(uint64(42), uint8(8), uint8(3), uint8(5))
@@ -132,6 +137,39 @@ func FuzzDESSchedule(f *testing.F) {
 		if okF != okFS || okF != okFT || fLeap != fSingle || fLeap != fTight {
 			t.Errorf("fleet variants diverged:\n leap      (%v) %s\n single    (%v) %s\n horizon 1 (%v) %s",
 				okF, fLeap, okFS, fSingle, okFT, fTight)
+		}
+
+		// Autoscaled fleet: provisions, warmups and drains churn the
+		// scheduler's index membership mid-run. At every advancement
+		// granularity, the indexed O(log n) placement path must produce
+		// the same bytes as the linear []FleetLoad scan it replaced —
+		// hiddenIndex forces the fallback for the same built-in policy.
+		// (Leap vs single-step equivalence of the autoscaler itself is
+		// NOT asserted here: scale decisions are evaluated after every
+		// engine call, so their timing is evaluation-density-sensitive —
+		// a pre-existing property, see ROADMAP.)
+		if shape&128 != 0 {
+			auto := func(single bool, hide bool) serve.Config {
+				cfg := fleet(single, 0)
+				cfg.Fleet = []serve.ReplicaSpec{
+					{System: simtest.System("pim-dpa"), Count: 3, Min: 1, Role: serve.RoleUnified,
+						WarmupSeconds: float64(int(shape)>>3%2) * 0.05},
+				}
+				cfg.Autoscaler = serve.NewSLOScaler()
+				cfg.Placement = serve.KVHeadroom()
+				if hide {
+					cfg.Placement = hiddenIndex{cfg.Placement}
+				}
+				return cfg
+			}
+			for _, single := range []bool{false, true} {
+				idx, okI := runVariant(t, auto(single, false), arr)
+				lin, okL := runVariant(t, auto(single, true), arr)
+				if okI != okL || idx != lin {
+					t.Errorf("autoscaled indexed placement diverged from linear scan (single=%v):\n indexed (%v) %s\n linear  (%v) %s",
+						single, okI, idx, okL, lin)
+				}
+			}
 		}
 	})
 }

@@ -1,0 +1,214 @@
+// ordIndex is the ordered replica index behind the fleet scheduler's
+// O(log n) decisions: a treap over replica indices sorted by
+// (key, index), with one preallocated node slot per replica. Every
+// scheduling question the fleet used to answer with an O(n) scan —
+// "most free KV that fits", "fewest outstanding tokens that fits",
+// "next fitting replica after the cursor", "lowest-index standby",
+// "highest-index drainable", "most backlogged steal source" — becomes
+// an ordered traversal that stops at the first acceptable entry.
+//
+// Determinism: node priorities are a fixed hash of the replica index,
+// so the tree shape is a pure function of the membership set and keys —
+// independent of insertion order — and every traversal visits entries
+// in exact (key asc, index asc) order, reproducing the lowest-index
+// tie-breaking of the linear scans byte for byte.
+package serve
+
+// ordIndex is an ordered set of replica indices sorted by
+// (key asc, index asc). The zero value is unusable; call init first.
+type ordIndex struct {
+	nodes []ordNode
+	root  int32
+	count int
+}
+
+// ordNode is one replica's slot in the treap (left/right children are
+// replica indices; -1 = none).
+type ordNode struct {
+	left, right int32
+	key         int64
+	prio        uint64
+	in          bool
+}
+
+// splitmix64 is the fixed index→priority hash (SplitMix64 finalizer).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// init sizes the index for n replicas, all absent.
+func (x *ordIndex) init(n int) {
+	x.nodes = make([]ordNode, n)
+	for i := range x.nodes {
+		x.nodes[i] = ordNode{left: -1, right: -1, prio: splitmix64(uint64(i))}
+	}
+	x.root = -1
+}
+
+// less orders node i before node j by (key, index).
+func (x *ordIndex) less(i int32, key int64, j int32) bool {
+	return key < x.nodes[j].key || (key == x.nodes[j].key && i < j)
+}
+
+// insertAt inserts node i (key already set) under subtree t.
+func (x *ordIndex) insertAt(t, i int32) int32 {
+	if t < 0 {
+		return i
+	}
+	n := &x.nodes[t]
+	if x.nodes[i].prio > n.prio {
+		// i becomes the subtree root: split t around i's key.
+		l, r := x.split(t, i)
+		x.nodes[i].left, x.nodes[i].right = l, r
+		return i
+	}
+	if x.less(i, x.nodes[i].key, t) {
+		n.left = x.insertAt(n.left, i)
+	} else {
+		n.right = x.insertAt(n.right, i)
+	}
+	return t
+}
+
+// split partitions subtree t into (< pivot i, > pivot i) by (key, index).
+func (x *ordIndex) split(t, i int32) (int32, int32) {
+	if t < 0 {
+		return -1, -1
+	}
+	if x.less(t, x.nodes[t].key, i) {
+		l, r := x.split(x.nodes[t].right, i)
+		x.nodes[t].right = l
+		return t, r
+	}
+	l, r := x.split(x.nodes[t].left, i)
+	x.nodes[t].left = r
+	return l, t
+}
+
+// merge joins subtrees l and r (every l entry orders before every r).
+func (x *ordIndex) merge(l, r int32) int32 {
+	if l < 0 {
+		return r
+	}
+	if r < 0 {
+		return l
+	}
+	if x.nodes[l].prio > x.nodes[r].prio {
+		x.nodes[l].right = x.merge(x.nodes[l].right, r)
+		return l
+	}
+	x.nodes[r].left = x.merge(l, x.nodes[r].left)
+	return r
+}
+
+// removeAt removes node i from subtree t.
+func (x *ordIndex) removeAt(t, i int32) int32 {
+	if t == i {
+		return x.merge(x.nodes[t].left, x.nodes[t].right)
+	}
+	if x.less(i, x.nodes[i].key, t) {
+		x.nodes[t].left = x.removeAt(x.nodes[t].left, i)
+	} else {
+		x.nodes[t].right = x.removeAt(x.nodes[t].right, i)
+	}
+	return t
+}
+
+// set inserts replica i with the given sort key, or re-keys it if
+// already present. O(log n); a no-op when the key is unchanged.
+func (x *ordIndex) set(i int, key int64) {
+	n := &x.nodes[i]
+	if n.in {
+		if n.key == key {
+			return
+		}
+		x.root = x.removeAt(x.root, int32(i))
+	} else {
+		x.count++
+	}
+	n.key, n.in = key, true
+	n.left, n.right = -1, -1
+	x.root = x.insertAt(x.root, int32(i))
+}
+
+// remove takes replica i out of the index; absent is a no-op.
+func (x *ordIndex) remove(i int) {
+	if !x.nodes[i].in {
+		return
+	}
+	x.root = x.removeAt(x.root, int32(i))
+	x.nodes[i].in = false
+	x.count--
+}
+
+// contains reports membership.
+func (x *ordIndex) contains(i int) bool { return x.nodes[i].in }
+
+// first returns the (key, index)-smallest entry, -1 when empty.
+func (x *ordIndex) first() int {
+	t := x.root
+	if t < 0 {
+		return -1
+	}
+	for x.nodes[t].left >= 0 {
+		t = x.nodes[t].left
+	}
+	return int(t)
+}
+
+// last returns the (key, index)-largest entry, -1 when empty.
+func (x *ordIndex) last() int {
+	t := x.root
+	if t < 0 {
+		return -1
+	}
+	for x.nodes[t].right >= 0 {
+		t = x.nodes[t].right
+	}
+	return int(t)
+}
+
+// ascend visits entries in (key, index) order until fn returns false.
+func (x *ordIndex) ascend(fn func(i int) bool) { x.ascendAt(x.root, fn) }
+
+func (x *ordIndex) ascendAt(t int32, fn func(i int) bool) bool {
+	if t < 0 {
+		return true
+	}
+	if !x.ascendAt(x.nodes[t].left, fn) {
+		return false
+	}
+	if !fn(int(t)) {
+		return false
+	}
+	return x.ascendAt(x.nodes[t].right, fn)
+}
+
+// ascendFrom visits, in (key, index) order, the entries ordering at or
+// after (key, idx) until fn returns false. With key == index keys this
+// is the cyclic-cursor primitive: resume a round-robin scan at the
+// cursor, then wrap with a plain ascend.
+func (x *ordIndex) ascendFrom(key int64, idx int, fn func(i int) bool) {
+	x.ascendFromAt(x.root, key, idx, fn)
+}
+
+func (x *ordIndex) ascendFromAt(t int32, key int64, idx int, fn func(i int) bool) bool {
+	if t < 0 {
+		return true
+	}
+	n := &x.nodes[t]
+	// Entry t orders before the (key, idx) bound: skip its left subtree.
+	if n.key < key || (n.key == key && int(t) < idx) {
+		return x.ascendFromAt(n.right, key, idx, fn)
+	}
+	if !x.ascendFromAt(n.left, key, idx, fn) {
+		return false
+	}
+	if !fn(int(t)) {
+		return false
+	}
+	return x.ascendAt(n.right, fn)
+}

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"sort"
+	"testing"
+)
+
+// ordModel is the reference the treap is checked against: a plain
+// member→key map, sorted by (key, index) on demand.
+type ordModel map[int]int64
+
+func (m ordModel) sorted() []int {
+	out := make([]int, 0, len(m))
+	for i := range m {
+		out = append(out, i)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		ia, ib := out[a], out[b]
+		if m[ia] != m[ib] {
+			return m[ia] < m[ib]
+		}
+		return ia < ib
+	})
+	return out
+}
+
+func collect(x *ordIndex) []int {
+	var out []int
+	x.ascend(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestOrdIndexAgainstModel drives random set/remove sequences and
+// checks every query — order, bounds, membership, count, and the
+// ascendFrom suffix traversal — against the sorted-map reference.
+func TestOrdIndexAgainstModel(t *testing.T) {
+	const n = 64
+	var x ordIndex
+	x.init(n)
+	model := ordModel{}
+	s := uint64(12345)
+	next := func(m int) int {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return int(s % uint64(m))
+	}
+	for op := 0; op < 5000; op++ {
+		i := next(n)
+		switch next(4) {
+		case 0:
+			x.remove(i)
+			delete(model, i)
+		default:
+			// Small key range forces heavy tie-breaking on index.
+			key := int64(next(9) - 4)
+			x.set(i, key)
+			model[i] = key
+		}
+		if x.count != len(model) {
+			t.Fatalf("op %d: count %d, model has %d", op, x.count, len(model))
+		}
+		want := model.sorted()
+		if got := collect(&x); !equalInts(got, want) {
+			t.Fatalf("op %d: ascend %v, want %v", op, got, want)
+		}
+		wantFirst, wantLast := -1, -1
+		if len(want) > 0 {
+			wantFirst, wantLast = want[0], want[len(want)-1]
+		}
+		if got := x.first(); got != wantFirst {
+			t.Fatalf("op %d: first %d, want %d", op, got, wantFirst)
+		}
+		if got := x.last(); got != wantLast {
+			t.Fatalf("op %d: last %d, want %d", op, got, wantLast)
+		}
+		if x.contains(i) != (func() bool { _, ok := model[i]; return ok })() {
+			t.Fatalf("op %d: contains(%d) wrong", op, i)
+		}
+		// ascendFrom at a random (key, idx) bound must be the suffix of
+		// the full order starting at the first entry not before it.
+		bk, bi := int64(next(9)-4), next(n)
+		var from []int
+		x.ascendFrom(bk, bi, func(j int) bool {
+			from = append(from, j)
+			return true
+		})
+		var wantFrom []int
+		for _, j := range want {
+			if model[j] > bk || (model[j] == bk && j >= bi) {
+				wantFrom = append(wantFrom, j)
+			}
+		}
+		if !equalInts(from, wantFrom) {
+			t.Fatalf("op %d: ascendFrom(%d,%d) %v, want %v", op, bk, bi, from, wantFrom)
+		}
+	}
+}
+
+// TestOrdIndexEarlyExit: a traversal stopped by the callback visits
+// exactly the ordered prefix.
+func TestOrdIndexEarlyExit(t *testing.T) {
+	var x ordIndex
+	x.init(8)
+	for i := 0; i < 8; i++ {
+		x.set(i, int64(8-i)) // order: 7, 6, ..., 0
+	}
+	var got []int
+	x.ascend(func(i int) bool {
+		got = append(got, i)
+		return len(got) < 3
+	})
+	if !equalInts(got, []int{7, 6, 5}) {
+		t.Errorf("early-exit ascend visited %v, want [7 6 5]", got)
+	}
+	// Re-keying in place keeps the node reachable at its new position.
+	x.set(7, 100)
+	if last := x.last(); last != 7 {
+		t.Errorf("after re-key, last = %d, want 7", last)
+	}
+	// set with an unchanged key is a no-op, not a duplicate insert.
+	x.set(7, 100)
+	if x.count != 8 {
+		t.Errorf("count after no-op re-key = %d, want 8", x.count)
+	}
+}

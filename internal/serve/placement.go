@@ -35,6 +35,18 @@ type Placement interface {
 	Place(r workload.Request, loads []FleetLoad) int
 }
 
+// indexedPlacement is the built-in policies' O(log n) fast path: answer
+// a placement from the fleet's ordered indexes (views.go) instead of a
+// freshly built []FleetLoad scan. Each implementation must pick the
+// byte-identical replica its Place method picks — the indexes order by
+// (key, replica index), so "first acceptable entry in index order"
+// reproduces the scans' lowest-index tie-breaking exactly; the oracle
+// suite in views_test.go pins the equivalence. Custom Placements
+// without this interface still get the full snapshot scan.
+type indexedPlacement interface {
+	placeIndexed(fs *fleetSim, r workload.Request) int
+}
+
 // KVHeadroom places on the fitting replica with the most free KV pool
 // (ties break to the lowest index) and holds when nothing fits — the
 // default global-scheduler policy: pack by capacity headroom, never
@@ -56,6 +68,20 @@ func (kvHeadroom) Place(_ workload.Request, loads []FleetLoad) int {
 		}
 	}
 	return best
+}
+
+// placeIndexed walks online decoders by free KV descending (ties to the
+// lowest index) and takes the first that can admit the request.
+func (kvHeadroom) placeIndexed(fs *fleetSim, r workload.Request) int {
+	dst := -1
+	fs.views.byFreeKV.ascend(func(i int) bool {
+		if !fs.decoders[i].eng.HasHeadroom(r) {
+			return true
+		}
+		dst = i
+		return false
+	})
+	return dst
 }
 
 // LeastTokensFit places on the fitting replica owing the fewest decode
@@ -81,6 +107,21 @@ func (leastTokensFit) Place(_ workload.Request, loads []FleetLoad) int {
 	return best
 }
 
+// placeIndexed walks online decoders by outstanding decode tokens
+// ascending (ties to the lowest index) and takes the first that can
+// admit the request.
+func (leastTokensFit) placeIndexed(fs *fleetSim, r workload.Request) int {
+	dst := -1
+	fs.views.byTokens.ascend(func(i int) bool {
+		if !fs.decoders[i].eng.HasHeadroom(r) {
+			return true
+		}
+		dst = i
+		return false
+	})
+	return dst
+}
+
 // RoundRobinFit cycles through the fitting replicas in decision order
 // and holds when nothing fits — the load-oblivious fleet baseline.
 func RoundRobinFit() Placement { return &roundRobinFit{} }
@@ -98,6 +139,36 @@ func (p *roundRobinFit) Place(_ workload.Request, loads []FleetLoad) int {
 		}
 	}
 	return -1
+}
+
+// placeIndexed resumes the cyclic probe at the cursor over the online
+// set (keyed by replica index): entries at or after the cursor first,
+// then wrapping to those before it. The linear probe visited non-online
+// replicas too, but they never fit, so skipping them is identical; the
+// cursor advances only on a successful placement, as in Place.
+func (p *roundRobinFit) placeIndexed(fs *fleetSim, r workload.Request) int {
+	start := p.next % len(fs.decoders)
+	dst := -1
+	probe := func(i int) bool {
+		if !fs.decoders[i].eng.HasHeadroom(r) {
+			return true
+		}
+		dst = i
+		return false
+	}
+	fs.views.online.ascendFrom(int64(start), start, probe)
+	if dst < 0 {
+		fs.views.online.ascend(func(i int) bool {
+			if i >= start {
+				return false // wrapped back to the cursor; stop
+			}
+			return probe(i)
+		})
+	}
+	if dst >= 0 {
+		p.next = dst + 1
+	}
+	return dst
 }
 
 // PlacementByName builds a fresh placement instance from its CLI name.

@@ -41,7 +41,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
 
 	"pimphony/internal/cluster"
 	"pimphony/internal/energy"
@@ -158,25 +157,27 @@ type Quantiles struct {
 	Mean, P50, P95, P99 float64
 }
 
-// quantiles computes nearest-rank percentiles over a sample.
-func quantiles(xs []float64) Quantiles {
+// quantiles computes nearest-rank percentiles over a sample, sorting xs
+// in place (radix, O(len(xs))). tmp is optional scratch for the sort,
+// reusable across calls; the mean accumulates in ascending order,
+// exactly as the sort-then-sum fold it replaces.
+func quantiles(xs, tmp []float64) Quantiles {
 	if len(xs) == 0 {
 		return Quantiles{}
 	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
+	radixSortFloat64(xs, tmp)
 	var sum float64
-	for _, x := range s {
+	for _, x := range xs {
 		sum += x
 	}
 	rank := func(p float64) float64 {
-		i := int(math.Ceil(p*float64(len(s)))) - 1
+		i := int(math.Ceil(p*float64(len(xs)))) - 1
 		if i < 0 {
 			i = 0
 		}
-		return s[i]
+		return xs[i]
 	}
-	return Quantiles{Mean: sum / float64(len(s)), P50: rank(0.50), P95: rank(0.95), P99: rank(0.99)}
+	return Quantiles{Mean: sum / float64(len(xs)), P50: rank(0.50), P95: rank(0.95), P99: rank(0.99)}
 }
 
 // ReplicaStats is one replica's share of the work.
@@ -310,6 +311,10 @@ type sim struct {
 	spine
 	cfg  Config
 	lazy bool
+	// loads is the per-arrival snapshot buffer, reused across dispatches
+	// (valid only during the Policy.Pick call; in lazy mode it stays
+	// zeroed, matching the empty snapshot LoadOblivious policies see).
+	loads []Load
 }
 
 // onStep and idleWork are no-ops: the load balancer reacts to nothing
@@ -323,7 +328,7 @@ func (s *sim) idleWork() (bool, error)              { return false, nil }
 // them (lazy mode — only the destination is advanced, here), ask the
 // Policy, and enqueue.
 func (s *sim) dispatch(ctx context.Context, e *event) error {
-	loads := make([]Load, len(s.replicas))
+	loads := s.loads
 	if !s.lazy {
 		for j, r := range s.replicas {
 			loads[j] = Load{
@@ -388,6 +393,7 @@ func Run(ctx context.Context, cfg Config, arrivals []workload.Arrival) (*Report,
 		}
 		s.replicas = append(s.replicas, &replica{sys: sys, eng: eng})
 	}
+	s.loads = make([]Load, len(s.replicas))
 	for i, a := range arrivals {
 		if i > 0 && a.At < arrivals[i-1].At {
 			return nil, fmt.Errorf("serve: arrivals not sorted at %d (%g after %g)", i, a.At, arrivals[i-1].At)
@@ -438,7 +444,11 @@ func foldReport(recs map[int]*record, arrivals []workload.Arrival, slo SLO, poli
 	}
 	firstArrival := arrivals[0].At
 	var lastDone float64
-	var ttfts, tbts, e2es []float64
+	// One latency sample per request: size the sample buffers (and the
+	// sort scratch shared by the three quantile folds) exactly once.
+	ttfts := make([]float64, 0, len(arrivals))
+	tbts := make([]float64, 0, len(arrivals))
+	e2es := make([]float64, 0, len(arrivals))
 	var goodTokens, allTokens int
 	met := 0
 	// Iterate in arrival order for deterministic accumulation.
@@ -504,9 +514,10 @@ func foldReport(recs map[int]*record, arrivals []workload.Arrival, slo SLO, poli
 	rep.Tokens = allTokens
 	rep.GoodTokens = goodTokens
 	rep.SLOMet = float64(met) / float64(len(recs))
-	rep.TTFT = quantiles(ttfts)
-	rep.TBT = quantiles(tbts)
-	rep.E2E = quantiles(e2es)
+	tmp := make([]float64, len(ttfts))
+	rep.TTFT = quantiles(ttfts, tmp)
+	rep.TBT = quantiles(tbts, tmp)
+	rep.E2E = quantiles(e2es, tmp)
 	// Decode energy, accumulated in replica index order (the float
 	// addition order is pinned — the fleet tables hash it).
 	var picoJoules float64

@@ -44,3 +44,50 @@ func BenchmarkServeRun(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFleetPlacement measures one placement decision on a
+// few-hundred-replica fleet and pins the allocation contract the
+// indexed scheduler exists for: zero allocations per decision, for
+// every built-in policy's O(log n) path and for the custom-policy
+// fallback once its []FleetLoad scratch is warm.
+func BenchmarkFleetPlacement(b *testing.B) {
+	const replicas = 256
+	fs, err := newFleetSim(Config{
+		Fleet: []ReplicaSpec{{System: testSystem(), Count: replicas, Role: RoleUnified}},
+		SLO:   SLO{TTFT: 1, TBT: 0.2},
+	}, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Load a third of the fleet so the indexes are non-trivial.
+	for i := 0; i < replicas; i += 3 {
+		rec := &record{req: workload.Request{ID: i + 1, Context: 64, Decode: 32}}
+		if err := fs.enqueueOn(i, rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	probe := workload.Request{ID: 1 << 20, Context: 64, Decode: 32}
+	cases := []struct {
+		name string
+		p    Placement
+	}{
+		{"kv-headroom", KVHeadroom()},
+		{"least-tokens-fit", LeastTokensFit()},
+		{"round-robin-fit", RoundRobinFit()},
+		{"custom-fallback", linearOnly{KVHeadroom()}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			fs.placement = c.p
+			fs.indexed, _ = c.p.(indexedPlacement)
+			fs.place(probe) // warm the fallback's scratch buffer
+			if allocs := testing.AllocsPerRun(100, func() { fs.place(probe) }); allocs != 0 {
+				b.Fatalf("%s: %v allocs per placement, want 0", c.name, allocs)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fs.place(probe)
+			}
+		})
+	}
+}
