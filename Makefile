@@ -10,7 +10,7 @@ BACKEND_COVER_MIN ?= 80
 # placement seams (make cover-serve / CI).
 SERVE_COVER_MIN ?= 85
 
-.PHONY: all fmt fmt-check vet staticcheck build examples test test-short race-serve fuzz-smoke fleet autoscale megafleet bench bench-check bench-baseline cover cover-serve ci
+.PHONY: all fmt fmt-check vet staticcheck build examples test test-short race-serve fuzz-smoke fleet autoscale megafleet resilience bench bench-check bench-baseline cover cover-serve ci
 
 all: build
 
@@ -83,6 +83,12 @@ autoscale:
 # load held constant (the scheduler-scaling table).
 megafleet:
 	$(GO) run ./cmd/pimphony-bench -run megafleet
+
+# Render the resilience study on the full grids: fixed vs SLO-autoscaled
+# fleets under seeded replica-crash schedules (MTBF x MTTR), reporting
+# goodput retained, retry amplification and tail-TTFT inflation.
+resilience:
+	$(GO) run ./cmd/pimphony-bench -run resilience
 
 # One iteration of every paper-figure benchmark on the short grids.
 bench:

@@ -86,6 +86,10 @@ func printCatalog() {
 		fmt.Fprintf(w, "  %s\n", strings.Join(serve.AutoscalerNames(), ", "))
 		fmt.Fprintln(w, "\narrival processes (-arrivals, time-averaged to -rate):")
 		fmt.Fprintln(w, "  poisson, mmpp:<burst>[:<dwell-s>], diurnal:<period-s>[:<amp>]")
+		fmt.Fprintln(w, "\nfault injection (-mtbf/-mttr/-fault-mode/-retries, with -fleet; seeded from -seed):")
+		fmt.Fprintln(w, "  crash — replica fails, loses its KV, in-flight requests retry with exponential backoff")
+		fmt.Fprintln(w, "  slow  — transient 2x iteration-time slowdown; placement and stealing route around it")
+		fmt.Fprintln(w, "  link  — transient 4x interconnect degradation; migration re-prices against recompute")
 	})
 }
 
@@ -142,6 +146,10 @@ func main() {
 	steal := flag.Bool("steal", true, "fleet mode: idle replicas steal queued requests from overloaded ones")
 	icGbps := flag.Float64("ic-gbps", 64, "fleet interconnect bandwidth in GiB/s (0 disables transfers: unified fleets only)")
 	icLatUs := flag.Float64("ic-lat-us", 2, "fleet interconnect latency in microseconds")
+	mtbf := flag.Float64("mtbf", 0, "fleet fault injection: mean seconds between failures per decode replica (0 disables)")
+	mttr := flag.Float64("mttr", 2, "fleet fault injection: mean seconds to recover a failed replica")
+	faultMode := flag.String("fault-mode", "crash", "fleet fault injection: crash (lose KV, retry), slow (2x iteration slowdown), or link (4x interconnect degradation)")
+	retries := flag.Int("retries", 3, "fleet fault injection: per-request retry budget after a crash (-1 = unlimited)")
 	turns := flag.Int("turns", 1, "turns per conversation; >1 switches to multi-turn sessions (-sessions conversations whose contexts re-extend per turn; -rate becomes the session-start rate)")
 	think := flag.Float64("think", 0.2, "mean think time in seconds between turns of a session (multi-turn only)")
 	seed := flag.Int64("seed", 42, "RNG seed for request sizes and arrival times")
@@ -267,6 +275,24 @@ func main() {
 			fatal(err)
 		}
 		ic := timing.Interconnect{BytesPerSecond: *icGbps * float64(1<<30), LatencySeconds: *icLatUs * 1e-6}
+		// -mtbf compiles a recurring fault schedule over every decode
+		// replica, seeded from -seed so the timeline is reproducible.
+		var faults *serve.FaultPlan
+		if *mtbf > 0 {
+			fm, err := serve.FaultModeByName(strings.TrimSpace(*faultMode))
+			if err != nil {
+				fatal(err)
+			}
+			faults = &serve.FaultPlan{
+				Seed: uint64(*seed),
+				Groups: []serve.FaultGroup{{
+					Spec: -1, Mode: fm, MTBFSeconds: *mtbf, MTTRSeconds: *mttr,
+					Slowdown: 2, LinkFactor: 4,
+				}},
+				MaxRetries:     *retries,
+				BackoffSeconds: 0.25,
+			}
+		}
 		if *autoscale != "" {
 			// The autoscale table has no placement column: like -capacity
 			// with -policy, it sweeps policies under one placement.
@@ -302,7 +328,7 @@ func main() {
 					pts = append(pts, serve.AutoscalePoint{
 						Name: name, Specs: ascSpecs, AutoscalerName: mode,
 						PlacementName: strings.TrimSpace(*placements),
-						Cfg:           serve.Config{Interconnect: ic, Migrate: *migrate, Steal: *steal},
+						Cfg:           serve.Config{Interconnect: ic, Migrate: *migrate, Steal: *steal, Faults: faults},
 						Arrivals:      func() ([]workload.Arrival, error) { return mkArrivals(rate) },
 					})
 				}
@@ -322,7 +348,7 @@ func main() {
 			for _, rate := range rateList {
 				pts = append(pts, serve.FleetPoint{
 					Name: pl, Specs: specs, Rate: rate, PlacementName: pl,
-					Cfg: serve.Config{Interconnect: ic, Migrate: *migrate, Steal: *steal},
+					Cfg: serve.Config{Interconnect: ic, Migrate: *migrate, Steal: *steal, Faults: faults},
 				})
 			}
 		}
@@ -338,6 +364,9 @@ func main() {
 
 	if *autoscale != "" {
 		fatal("-autoscale requires fleet mode (set -fleet); the homogeneous replica set is fixed")
+	}
+	if *mtbf > 0 {
+		fatal("-mtbf requires fleet mode (set -fleet); fault injection targets fleet replicas")
 	}
 
 	if *capacity {

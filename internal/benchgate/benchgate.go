@@ -36,7 +36,7 @@ const Schema = 1
 // the cross-backend comparison, whose tables CI pins (the batch figures
 // are covered by the bench smoke).
 func DefaultIDs() []string {
-	return []string{"autoscale", "capacity", "fleet", "megafleet", "serve", "systems"}
+	return []string{"autoscale", "capacity", "fleet", "megafleet", "resilience", "serve", "systems"}
 }
 
 // Entry is one experiment's measurement.

@@ -107,11 +107,12 @@ var registry = map[string]entry{
 	"systems": {SystemsCompare, "all registered backends (pim-only, xpu+pim, gpu, dimm-pim) on shared workloads"},
 
 	// Online serving studies beyond the paper's batch evaluation.
-	"serve":     {ServeCurve, "online latency-throughput curve under TTFT/TBT SLOs"},
-	"capacity":  {CapacityGap, "online Static-vs-DPA capacity gap at an equal KV budget"},
-	"fleet":     {FleetCompare, "homogeneous vs disaggregated prefill/decode fleets at equal KV budget"},
-	"autoscale": {AutoscaleStudy, "fixed vs SLO-driven autoscaled fleet under bursty traffic, goodput per dollar"},
-	"megafleet": {MegafleetScale, "scheduler scaling from 100 to 10k autoscaled replicas under a diurnal trace"},
+	"serve":      {ServeCurve, "online latency-throughput curve under TTFT/TBT SLOs"},
+	"capacity":   {CapacityGap, "online Static-vs-DPA capacity gap at an equal KV budget"},
+	"fleet":      {FleetCompare, "homogeneous vs disaggregated prefill/decode fleets at equal KV budget"},
+	"autoscale":  {AutoscaleStudy, "fixed vs SLO-driven autoscaled fleet under bursty traffic, goodput per dollar"},
+	"megafleet":  {MegafleetScale, "scheduler scaling from 100 to 10k autoscaled replicas under a diurnal trace"},
+	"resilience": {ResilienceStudy, "goodput retained and retry economics under replica crashes, fixed vs autoscaled"},
 
 	// Design-choice ablations beyond the paper's figures.
 	"abl-ismac":   {AblationIsMAC, "MAC-command issue-interval sensitivity"},

@@ -16,6 +16,11 @@ type record struct {
 	tokens  int     // tokens actually generated (Decode, unless truncated at T_max)
 	replica int
 	prefill float64
+	// retries counts crash-loss re-admissions (faults.go); failed marks a
+	// request whose retry budget ran out — it never completes and is
+	// excluded from the latency samples.
+	retries int
+	failed  bool
 }
 
 // replica is one decode engine plus its private clock.

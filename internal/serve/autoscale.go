@@ -49,6 +49,11 @@ const (
 	// stateOffline: standby — provisioned capacity not currently online
 	// (not charged for provisioning while offline).
 	stateOffline
+	// stateFailed: the replica crashed (faults.go). Its KV is lost, its
+	// in-flight requests were withdrawn to the global retry path, and it
+	// takes no placements, steals or migrations until its evRecover
+	// brings it back online. Downtime is not billed as online seconds.
+	stateFailed
 )
 
 func (s replState) String() string {
@@ -61,6 +66,8 @@ func (s replState) String() string {
 		return "draining"
 	case stateOffline:
 		return "offline"
+	case stateFailed:
+		return "failed"
 	default:
 		return fmt.Sprintf("state(%d)", int(s))
 	}
@@ -91,6 +98,11 @@ type AutoscaleView struct {
 	// Online / Warming / Standby count decode replicas by state
 	// (draining replicas have already left Online).
 	Online, Warming, Standby int
+	// Failed counts crashed replicas currently waiting out their
+	// recovery — capacity the fleet owns but cannot use right now. The
+	// autoscaler sees a crash as capacity loss (Online drops, Failed
+	// rises) and may provision standby replacements.
+	Failed int
 	// IdleOnline counts online replicas with no work at all — no active
 	// batch, no queue, nothing in flight toward them — i.e. the ones a
 	// drain decision could retire right now.
@@ -107,6 +119,12 @@ type AutoscaleView struct {
 	// OldestWaitSeconds is the longest time any arrived request has
 	// waited without producing its first token (zero when none wait).
 	OldestWaitSeconds float64
+	// Waiting is how many arrived requests have not yet produced their
+	// first token; OldestArrival is the earliest such request's arrival
+	// time (+Inf when Waiting is zero). Together they let a policy
+	// compute its future wait-threshold crossings for NextEval.
+	Waiting       int
+	OldestArrival float64
 }
 
 // Autoscaler decides, at each scheduler decision boundary, whether the
@@ -120,6 +138,21 @@ type Autoscaler interface {
 	// what exists: provisioning stops at the standby pool, draining at
 	// the idle online replicas.
 	Scale(v AutoscaleView) int
+}
+
+// evalScheduler is the timer half of a time-sensitive autoscaler:
+// after each Scale call the fleet asks when the policy next needs to be
+// re-evaluated absent any other event — a cooldown expiring, the oldest
+// wait crossing a threshold — and pushes an evScaleEval at that time
+// through the DES heap. Scale decisions therefore fire only at
+// heap-event boundaries (arrivals, completions, landings, timers),
+// never at engine-call density, which is what makes autoscaled runs
+// leap-invariant. Policies without time-dependent triggers (MaxScaler)
+// simply do not implement it.
+type evalScheduler interface {
+	// NextEval returns the next absolute time (> v.Now) the policy
+	// wants a re-evaluation, or +Inf when no timer is needed.
+	NextEval(v AutoscaleView) float64
 }
 
 // SLOScaler is the default autoscaling policy: scale up when TTFT
@@ -182,6 +215,37 @@ func (s *SLOScaler) Scale(v AutoscaleView) int {
 		return -1
 	}
 	return 0
+}
+
+// NextEval implements evalScheduler: the earliest future time one of
+// Scale's time-driven triggers can change its answer — the oldest
+// waiting request crossing the TTFT-fraction (or full-TTFT urgency)
+// threshold, a pressed fleet's scale-up cooldown expiring, or a quiet
+// fleet's drain cooldown expiring. +Inf when none applies; every other
+// trigger (held work, KV headroom, queue changes) moves only at heap
+// events, which evaluate on their own.
+func (s *SLOScaler) NextEval(v AutoscaleView) float64 {
+	next := math.Inf(1)
+	add := func(t float64) {
+		if t > v.Now && t < next {
+			next = t
+		}
+	}
+	if v.Waiting > 0 && v.SLO.TTFT > 0 {
+		add(v.OldestArrival + s.TTFTFraction*v.SLO.TTFT)
+		add(v.OldestArrival + v.SLO.TTFT)
+	}
+	pressed := v.Held > 0 ||
+		(v.SLO.TTFT > 0 && v.OldestWaitSeconds > s.TTFTFraction*v.SLO.TTFT) ||
+		(v.FreeKVFrac < s.HeadroomLow && v.Queued > 0)
+	if pressed && v.Standby > 0 {
+		add(s.lastUp + s.CooldownSeconds)
+	}
+	quiet := v.Held == 0 && v.Queued == 0 && v.Warming == 0 && v.OldestWaitSeconds == 0
+	if quiet && v.IdleOnline > 0 {
+		add(s.lastDown + s.CooldownSeconds)
+	}
+	return next
 }
 
 // MaxScaler provisions every standby replica at the first decision

@@ -81,6 +81,24 @@ const (
 	// entry at the new clock, so horizon expiry needs no separate
 	// bookkeeping. Only the interleaved discipline arms these.
 	evReady
+	// evFail: a fault chain fires on a replica (crash, transient
+	// slowdown or link degradation; see faults.go). gen is the chain
+	// index, dst the replica (fleet fault injection only).
+	evFail
+	// evRecover: a fault chain's down interval ends; the replica (or
+	// the fabric) returns to health and the chain re-arms its next
+	// failure. gen is the chain index, dst the replica.
+	evRecover
+	// evRetry: a request lost to a crash re-enters routing after its
+	// deterministic backoff. gen carries the tokens it had generated
+	// before the loss (recomputed on re-admission).
+	evRetry
+	// evScaleEval: an autoscaler-requested re-evaluation deadline
+	// (cooldown expiry, oldest-wait threshold crossing). Explicit timer
+	// events are what make autoscaled runs leap-invariant: scale
+	// decisions fire at heap-event boundaries, which are identical at
+	// every leap granularity, instead of at engine-call density.
+	evScaleEval
 )
 
 // event is one scheduled entry in the spine's heap.

@@ -138,6 +138,108 @@ func TestFleetSpineEquivalence(t *testing.T) {
 	}
 }
 
+// TestFaultedSpineEquivalence pins the fault layer to the same
+// determinism contract as the rest of the spine: a fault plan compiles
+// to explicit heap events, so crash, slowdown and link schedules — and
+// every retry, recompute and re-placement they trigger — must be
+// byte-identical across sync discipline, leap horizon and sweep
+// parallelism. The autoscaled variant doubles as the regression pin for
+// timer-driven scale evaluation: autoscaled runs are now leap-invariant
+// too, faults or no faults.
+func TestFaultedSpineEquivalence(t *testing.T) {
+	arr, err := simtest.TightSchedule(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := func() *serve.FaultPlan {
+		return &serve.FaultPlan{
+			Seed: 17,
+			Groups: []serve.FaultGroup{
+				{Spec: 1, Mode: serve.FaultCrash, MTBFSeconds: 0.05, MTTRSeconds: 0.01},
+				{Spec: 1, Mode: serve.FaultSlowdown, MTBFSeconds: 0.04, MTTRSeconds: 0.03, Slowdown: 3},
+				{Spec: 1, Mode: serve.FaultLink, MTBFSeconds: 0.06, MTTRSeconds: 0.02, LinkFactor: 4},
+			},
+			MaxRetries:     -1,
+			BackoffSeconds: 0.002,
+		}
+	}
+	t.Run("disaggregated", func(t *testing.T) {
+		mk := func(single bool, horizon int) string {
+			rep := mustRun(t, serve.Config{
+				Fleet: []serve.ReplicaSpec{
+					{System: simtest.System("pim-dpa"), Count: 1, Role: serve.RolePrefill},
+					{System: simtest.System("pim-tight"), Count: 2, Role: serve.RoleDecode},
+				},
+				Interconnect: timing.DefaultInterconnect(),
+				Migrate:      true,
+				Steal:        true,
+				Faults:       plan(),
+				SingleStep:   single,
+				LeapHorizon:  horizon,
+				SLO:          serve.SLO{TTFT: 1, TBT: 0.2},
+			}, arr)
+			simtest.CheckInvariants(t, rep, arr)
+			if rep.Faults == nil || rep.Faults.Crashes == 0 {
+				t.Fatal("fault schedule never fired; the equivalence check is vacuous")
+			}
+			return simtest.Fingerprint(rep)
+		}
+		leap := mk(false, 0)
+		if single := mk(true, 0); single != leap {
+			t.Errorf("single-step faulted fleet diverged from leap advancement")
+		}
+		for _, horizon := range []int{1, 5} {
+			if clamped := mk(false, horizon); clamped != leap {
+				t.Errorf("LeapHorizon %d changed the faulted fleet report", horizon)
+			}
+		}
+		prev := sweep.SetDefault(8)
+		par := mk(false, 0)
+		sweep.SetDefault(prev)
+		if par != leap {
+			t.Errorf("parallel sweep changed the faulted fleet report")
+		}
+	})
+	t.Run("autoscaled", func(t *testing.T) {
+		mk := func(single bool, horizon int) string {
+			rep := mustRun(t, serve.Config{
+				Fleet: []serve.ReplicaSpec{
+					{System: simtest.System("pim-dpa"), Count: 3, Role: serve.RoleUnified, Min: 1, WarmupSeconds: 0.02},
+				},
+				Autoscaler: serve.NewSLOScaler(),
+				Faults: &serve.FaultPlan{
+					Seed: 5,
+					Groups: []serve.FaultGroup{
+						{Spec: -1, Mode: serve.FaultCrash, MTBFSeconds: 0.05, MTTRSeconds: 0.02},
+					},
+					MaxRetries:     -1,
+					BackoffSeconds: 0.005,
+				},
+				SingleStep:  single,
+				LeapHorizon: horizon,
+				SLO:         serve.SLO{TTFT: 1, TBT: 0.2},
+			}, arr)
+			simtest.CheckInvariants(t, rep, arr)
+			return simtest.Fingerprint(rep)
+		}
+		leap := mk(false, 0)
+		if single := mk(true, 0); single != leap {
+			t.Errorf("single-step autoscaled faulted fleet diverged from leap advancement")
+		}
+		for _, horizon := range []int{1, 5} {
+			if clamped := mk(false, horizon); clamped != leap {
+				t.Errorf("LeapHorizon %d changed the autoscaled faulted report", horizon)
+			}
+		}
+		prev := sweep.SetDefault(8)
+		par := mk(false, 0)
+		sweep.SetDefault(prev)
+		if par != leap {
+			t.Errorf("parallel sweep changed the autoscaled faulted report")
+		}
+	})
+}
+
 // TestEqualTimestampPermutationInvariance is the metamorphic
 // event-order oracle: two arrivals at the same timestamp that route to
 // different replicas commute — swapping their push order permutes heap

@@ -42,6 +42,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"pimphony/internal/cluster"
 	"pimphony/internal/timing"
@@ -132,6 +133,9 @@ func (c *Config) validateFleet() error {
 	if c.LeapHorizon < 0 {
 		return fmt.Errorf("serve: LeapHorizon must be non-negative, got %d", c.LeapHorizon)
 	}
+	if err := c.Faults.validate(c.Fleet, decode); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -187,6 +191,9 @@ type prefillServer struct {
 	busy float64 // total busy seconds
 	reqs int
 	spec int
+	// slow, when positive, multiplies every prompt's duration — the
+	// colocated half of a replica's transient slowdown fault (faults.go).
+	slow float64
 }
 
 // serve schedules one prompt starting no earlier than at, returning the
@@ -197,6 +204,9 @@ func (p *prefillServer) serve(at float64, contextTokens int) float64 {
 		start = p.free
 	}
 	dur := p.sys.PrefillSeconds(contextTokens)
+	if p.slow > 0 {
+		dur *= p.slow
+	}
 	p.free = start + dur
 	p.busy += dur
 	p.reqs++
@@ -221,6 +231,11 @@ type heldReq struct {
 	// fleets place before prefilling, so a held request still owes its
 	// prompt pass once placed).
 	needsPrefill bool
+	// recompute: the request was crash-lost with gen tokens of progress;
+	// placing it re-admits through the engine's recompute-charging path
+	// (faults.go).
+	recompute bool
+	gen       int
 }
 
 // fleetSim drives one fleet simulation: the shared discrete-event
@@ -267,6 +282,23 @@ type fleetSim struct {
 	// oldest-wait fold is a front peek instead of a map scan.
 	waitq        deque[*record]
 	firstArrival float64
+
+	// Timer-driven scale evaluation: total/finished bound the run (no
+	// scaling after the workload drains), evalSched is the policy's
+	// NextEval half when it has one, and evalAt is the earliest armed
+	// evScaleEval deadline (+Inf when none).
+	total     int
+	finished  int
+	evalSched evalScheduler
+	evalAt    float64
+
+	// Fault-injection state (faults.go); all nil/zero unless
+	// cfg.Faults is active, so the fault-free path is untouched.
+	chains    []*faultChain
+	slowStack [][]*faultChain // per-replica active slowdown chains
+	linkStack []*faultChain   // active fabric-degradation chains
+	icScale   float64         // current interconnect transfer-time factor
+	fstats    *FaultStats
 }
 
 func newFleetSim(cfg Config, n int) (*fleetSim, error) {
@@ -321,6 +353,9 @@ func newFleetSim(cfg Config, n int) (*fleetSim, error) {
 	fs.landing = make([]int, len(fs.decoders))
 	fs.onlineSecs = make([]float64, len(fs.decoders))
 	fs.auto = cfg.Autoscaler
+	fs.evalSched, _ = cfg.Autoscaler.(evalScheduler)
+	fs.evalAt = math.Inf(1)
+	fs.total = n
 	if fs.auto != nil {
 		fs.waiting = make(map[int]*record, n)
 	}
@@ -358,6 +393,7 @@ func runFleet(ctx context.Context, cfg Config, arrivals []workload.Arrival) (*Re
 		fs.pushArrival(rec, a)
 	}
 	fs.firstArrival = arrivals[0].At
+	fs.initFaults()
 	if err := fs.spine.run(ctx); err != nil {
 		return nil, err
 	}
@@ -365,14 +401,20 @@ func runFleet(ctx context.Context, cfg Config, arrivals []workload.Arrival) (*Re
 }
 
 // onStep reacts to one decoder engine call: first tokens retire their
-// requests from the autoscaler's waiting set, and any preemptions the
-// step produced become migration candidates.
+// requests from the autoscaler's waiting set, completions advance the
+// finished count (and, being leap-invariant boundaries — leaps end
+// exactly at completing iterations — give the autoscaler a decision),
+// and any preemptions the step produced become migration candidates.
 func (fs *fleetSim) onStep(di int, res cluster.StepResult) error {
 	fs.touch(di)
 	if fs.auto != nil {
 		for _, id := range res.Generated {
 			delete(fs.waiting, id)
 		}
+	}
+	if len(res.Completed) > 0 {
+		fs.finished += len(res.Completed)
+		fs.autoscale(fs.decoders[di].clock)
 	}
 	if len(res.Preempted) == 0 || !fs.cfg.Migrate || !fs.ic.Usable() {
 		return nil
@@ -385,11 +427,13 @@ func (fs *fleetSim) onStep(di int, res cluster.StepResult) error {
 	return nil
 }
 
-// react runs at every engine-call and dispatch boundary: let the
-// autoscaler reshape the pool, retry the held queue against freed (or
-// freshly provisioned) headroom, then let idle decoders steal.
+// react runs at every engine-call and dispatch boundary: retry the held
+// queue against freed headroom, then let idle decoders steal. Scale
+// evaluation deliberately does NOT run here — it fires only at heap
+// events (arrivals, completions, landings, crashes, retries and the
+// policy's own evScaleEval timers), which are identical at every leap
+// granularity, so autoscaled runs are leap-invariant.
 func (fs *fleetSim) react(now float64) error {
-	fs.autoscale(now)
 	fs.placeHeld(now)
 	fs.trySteal(now)
 	return nil
@@ -407,7 +451,7 @@ func (fs *fleetSim) idleWork() (bool, error) {
 	}
 	n := fs.held.len()
 	fs.autoscale(fs.clock)
-	if fs.events.Len() > 0 {
+	if fs.pendingProgress() {
 		return true, nil // a provision is warming; its landing resumes placement
 	}
 	fs.placeHeld(fs.clock)
@@ -415,7 +459,7 @@ func (fs *fleetSim) idleWork() (bool, error) {
 		return true, nil
 	}
 	if fs.auto != nil && fs.provision(fs.clock, 1) > 0 {
-		if fs.events.Len() > 0 {
+		if fs.pendingProgress() {
 			return true, nil
 		}
 		fs.placeHeld(fs.clock)
@@ -424,6 +468,21 @@ func (fs *fleetSim) idleWork() (bool, error) {
 		}
 	}
 	return false, fmt.Errorf("serve: %d requests held with no fleet replica able to admit them", n)
+}
+
+// pendingProgress reports whether the heap holds an event that can move
+// work or create capacity. Fault chains, scale-eval timers and ready
+// ticks do not count: an eternal fault chain must not keep a stalled
+// simulation alive, and a bare timer resolves at its own dispatch.
+func (fs *fleetSim) pendingProgress() bool {
+	for _, ev := range fs.events {
+		switch ev.kind {
+		case evFail, evRecover, evScaleEval, evReady:
+		default:
+			return true
+		}
+	}
+	return false
 }
 
 // considerMigration decides a preempted request's fate: move its live
@@ -435,8 +494,12 @@ func (fs *fleetSim) considerMigration(di int, v workload.Request) error {
 	gen := d.eng.Progress(v.ID)
 	kvTokens := v.Context + gen
 	bytes := int64(kvTokens) * fs.bpt
-	transfer := fs.ic.TransferSeconds(bytes)
-	if transfer >= d.sys.PrefillSeconds(kvTokens) {
+	transfer := fs.transferSeconds(bytes)
+	recompute := d.sys.PrefillSeconds(kvTokens)
+	if f := fs.slowFactor(di); f > 1 {
+		recompute *= f // a degraded replica recomputes slower, too
+	}
+	if transfer >= recompute {
 		return nil // recompute locally is at least as cheap
 	}
 	// byFreeKV visits online decoders by free KV descending, ties to the
@@ -475,6 +538,11 @@ func (fs *fleetSim) dispatch(_ context.Context, e *event) error {
 	case evHandoff:
 		if e.dst >= 0 {
 			fs.landing[e.dst]--
+			if fs.state[e.dst] == stateFailed {
+				// The destination crashed after its colocated prefill was
+				// scheduled; the prompt KV went down with it.
+				return fs.retryOrFail(e.rec, 0, e.at)
+			}
 			return fs.enqueueOn(e.dst, e.rec)
 		}
 		// Disaggregated handoff: the KV is staged, place it now (after
@@ -488,6 +556,10 @@ func (fs *fleetSim) dispatch(_ context.Context, e *event) error {
 		return nil
 	case evMigrated, evStolen:
 		fs.incoming[e.dst]--
+		if fs.state[e.dst] == stateFailed {
+			// The destination crashed with this KV in flight toward it.
+			return fs.retryOrFail(e.rec, e.gen, e.at)
+		}
 		e.rec.replica = e.dst
 		d := fs.decoders[e.dst]
 		if d.eng.Idle() && d.clock < e.at {
@@ -523,6 +595,53 @@ func (fs *fleetSim) dispatch(_ context.Context, e *event) error {
 		}
 		fs.recordScale(e.at, -1)
 		return nil
+	case evFail:
+		c := fs.chains[e.gen]
+		if fs.finished >= fs.total {
+			return nil // workload drained; the chain ends here
+		}
+		if err := fs.applyFault(c, e.at); err != nil {
+			return err
+		}
+		// The down interval is drawn whether or not the fault applied
+		// (see faultChain.exp), keeping the chain's stream stable.
+		fs.push(evRecover, nil, e.gen, e.dst, e.at+c.downFor())
+		return nil
+	case evRecover:
+		c := fs.chains[e.gen]
+		fs.clearFault(c, e.at)
+		if !c.oneshot && fs.finished < fs.total {
+			fs.push(evFail, nil, e.gen, e.dst, e.at+c.exp(c.mtbf))
+		}
+		// Stall guard: if nothing but fault timers can ever run again and
+		// requests are still held, idleWork either makes progress or
+		// surfaces the same loud stall error the fault-free run would —
+		// an eternal fault chain must not keep a dead simulation spinning.
+		if fs.held.len() > 0 && fs.faultQuiescent() {
+			if _, err := fs.idleWork(); err != nil {
+				return err
+			}
+		}
+		return nil
+	case evRetry:
+		fs.autoscale(e.at)
+		if e.gen > 0 {
+			// Progress to recompute: the request decodes from gen, but its
+			// re-admission charges the full Context+gen KV rebuild.
+			if dst := fs.place(e.rec.req); dst >= 0 {
+				return fs.enqueueRecomputeOn(dst, e.rec, e.gen)
+			}
+			fs.held.pushBack(heldReq{rec: e.rec, recompute: true, gen: e.gen})
+			fs.stats.Held++
+			return nil
+		}
+		// Zero progress: route like a fresh arrival (the prompt pass
+		// reruns wherever it lands).
+		return fs.routeBody(e.rec, e.at)
+	case evScaleEval:
+		fs.evalAt = math.Inf(1)
+		fs.autoscale(e.at)
+		return nil
 	default:
 		return fmt.Errorf("serve: unknown fleet event kind %d", int(e.kind))
 	}
@@ -545,13 +664,19 @@ func (fs *fleetSim) routeArrival(e *event) error {
 		fs.waitq.pushBack(rec)
 		fs.autoscale(e.at)
 	}
+	return fs.routeBody(rec, e.at)
+}
+
+// routeBody sends an un-prefilled request into its prefill phase —
+// fresh arrivals and zero-progress crash retries take the same path.
+func (fs *fleetSim) routeBody(rec *record, at float64) error {
 	if len(fs.prefills) > 0 {
 		pi := fs.pickPrefill()
 		p := fs.prefills[pi]
-		end := p.serve(e.at, rec.req.Context)
+		end := p.serve(at, rec.req.Context)
 		fs.touchPrefill(pi, p)
 		bytes := int64(rec.req.Context) * fs.bpt
-		transfer := fs.ic.TransferSeconds(bytes)
+		transfer := fs.transferSeconds(bytes)
 		fs.stats.Handoffs++
 		fs.stats.TransferBytes += bytes
 		fs.stats.TransferSeconds += transfer
@@ -559,7 +684,7 @@ func (fs *fleetSim) routeArrival(e *event) error {
 		return nil
 	}
 	if dst := fs.place(rec.req); dst >= 0 {
-		fs.localPrefill(dst, rec, e.at)
+		fs.localPrefill(dst, rec, at)
 		return nil
 	}
 	fs.held.pushBack(heldReq{rec: rec, needsPrefill: true})
@@ -616,7 +741,7 @@ func (fs *fleetSim) place(r workload.Request) int {
 			FreeKVBytes: d.eng.FreeKVBytes(),
 			Fits:        d.eng.HasHeadroom(r),
 		}
-		if fs.state[i] != stateOnline {
+		if fs.state[i] != stateOnline || fs.degraded(i) {
 			loads[i].Fits = false
 			loads[i].FreeKVBytes = 0
 		}
@@ -646,6 +771,23 @@ func (fs *fleetSim) enqueueOn(dst int, rec *record) error {
 	return nil
 }
 
+// enqueueRecomputeOn commits a crash-lost request with prior progress to
+// a decoder: re-admission charges the Context+gen KV rebuild through the
+// engine's recompute path, then decoding resumes at gen.
+func (fs *fleetSim) enqueueRecomputeOn(dst int, rec *record, gen int) error {
+	rec.replica = dst
+	d := fs.decoders[dst]
+	if d.eng.Idle() && d.clock < fs.clock {
+		d.clock = fs.clock
+	}
+	if err := d.eng.EnqueueRecompute(rec.req, gen); err != nil {
+		return err
+	}
+	fs.touch(dst)
+	fs.wake(dst)
+	return nil
+}
+
 // placeHeld retries the global queue in FIFO order, stopping at the
 // first request that still fits nowhere (strict FCFS, matching the
 // engines' own queue discipline).
@@ -668,7 +810,13 @@ func (fs *fleetSim) placeHeld(now float64) {
 		// Unplaceable enqueue errors cannot happen here: place() only
 		// returns fitting replicas for the built-in policies, and a
 		// custom policy routing a duplicate would have failed earlier.
-		if err := fs.enqueueOn(dst, h.rec); err != nil {
+		var err error
+		if h.recompute {
+			err = fs.enqueueRecomputeOn(dst, h.rec, h.gen)
+		} else {
+			err = fs.enqueueOn(dst, h.rec)
+		}
+		if err != nil {
 			// Put it back and stop; run() will surface the stall.
 			fs.held.pushFront(h)
 			return
@@ -699,7 +847,7 @@ func (fs *fleetSim) trySteal(now float64) {
 	})
 	for _, di := range v.thiefScratch {
 		d := fs.decoders[di]
-		if fs.state[di] != stateOnline || !d.eng.Idle() || fs.incoming[di] > 0 {
+		if fs.state[di] != stateOnline || !d.eng.Idle() || fs.incoming[di] > 0 || fs.degraded(di) {
 			continue
 		}
 		// The steal-source index orders decoders with an active batch and
@@ -736,7 +884,7 @@ func (fs *fleetSim) trySteal(now float64) {
 			continue
 		}
 		bytes := int64(r.Context) * fs.bpt
-		transfer := fs.ic.TransferSeconds(bytes)
+		transfer := fs.transferSeconds(bytes)
 		at := now
 		if s.clock > at {
 			at = s.clock
@@ -750,11 +898,13 @@ func (fs *fleetSim) trySteal(now float64) {
 	}
 }
 
-// autoscale gives the policy one decision at a boundary and applies
-// it, clamped to what exists (standby pool going up, idle online
-// replicas going down). No-op for fixed fleets.
+// autoscale gives the policy one decision at a heap-event boundary and
+// applies it, clamped to what exists (standby pool going up, idle
+// online replicas going down), then arms the policy's next evaluation
+// timer. No-op for fixed fleets and once the workload has drained (no
+// post-completion scaling, and no timer chain to keep the heap alive).
 func (fs *fleetSim) autoscale(now float64) {
-	if fs.auto == nil {
+	if fs.auto == nil || fs.finished >= fs.total {
 		return
 	}
 	switch n := fs.auto.Scale(fs.view(now)); {
@@ -763,6 +913,22 @@ func (fs *fleetSim) autoscale(now float64) {
 	case n < 0:
 		fs.drainIdle(now, -n)
 	}
+	if fs.evalSched != nil {
+		fs.armEval(now, fs.evalSched.NextEval(fs.view(now)))
+	}
+}
+
+// armEval schedules an evScaleEval at the policy's requested deadline,
+// keeping only the earliest outstanding timer: a later deadline never
+// needs its own event, because the earlier dispatch re-evaluates and
+// re-arms. Stale timers (the fleet re-armed earlier and already fired)
+// dispatch as cheap deterministic no-op evaluations.
+func (fs *fleetSim) armEval(now, at float64) {
+	if !(at > now) || math.IsInf(at, 1) || at >= fs.evalAt {
+		return
+	}
+	fs.evalAt = at
+	fs.push(evScaleEval, nil, 0, -1, at)
 }
 
 // view snapshots the fleet for one autoscaling decision, entirely from
@@ -777,8 +943,11 @@ func (fs *fleetSim) view(now float64) AutoscaleView {
 	av := AutoscaleView{
 		Now: now, SLO: fs.cfg.SLO, Held: fs.held.len(),
 		Online: v.onlineCnt, Warming: v.warmingCnt, Standby: v.standbyCnt,
+		Failed:     v.failedCnt,
 		IdleOnline: v.drainable.count,
 		Queued:     v.queued, Active: v.activeSum,
+		Waiting:       len(fs.waiting),
+		OldestArrival: math.Inf(1),
 	}
 	if v.poolSum > 0 {
 		av.FreeKVFrac = float64(v.freeSum) / float64(v.poolSum)
@@ -790,7 +959,8 @@ func (fs *fleetSim) view(now float64) AutoscaleView {
 		fs.waitq.popFront()
 	}
 	if fs.waitq.len() > 0 {
-		if w := now - fs.waitq.front().arrival; w > 0 {
+		av.OldestArrival = fs.waitq.front().arrival
+		if w := now - av.OldestArrival; w > 0 {
 			av.OldestWaitSeconds = w
 		}
 	}
@@ -891,7 +1061,7 @@ func (fs *fleetSim) report(arrivals []workload.Arrival) (*Report, error) {
 	for i, d := range fs.decoders {
 		hourly[i] = d.sys.CostPerHour()
 	}
-	if fs.auto == nil {
+	if fs.auto == nil && fs.fstats == nil {
 		for i := range fs.decoders {
 			secs[i] = rep.MakespanSeconds
 		}
@@ -928,5 +1098,6 @@ func (fs *fleetSim) report(arrivals []workload.Arrival) (*Report, error) {
 		st.AvgOnlineReplicas = rep.Energy.ReplicaSeconds / rep.MakespanSeconds
 	}
 	rep.Fleet = &st
+	rep.Faults = fs.fstats
 	return rep, nil
 }

@@ -1,6 +1,6 @@
 // FuzzDESSchedule drives the discrete-event spine with randomized
-// (seed, arrival-mix, fleet-shape) tuples and asserts the DES invariant
-// set on every input:
+// (seed, arrival-mix, fleet-shape, fault-schedule) tuples and asserts
+// the DES invariant set on every input:
 //
 //   - the spine's own always-on checks (des.go): no event fires behind
 //     the scheduler clock, a ready entry fires exactly at its replica's
@@ -75,12 +75,39 @@ func runVariant(t *testing.T, cfg serve.Config, arr []workload.Arrival) (string,
 // assertion, forcing the linear []FleetLoad fallback.
 type hiddenIndex struct{ serve.Placement }
 
+// fuzzFaultPlan expands the fault word into a bounded recurring fault
+// schedule over every decode replica: zero means fault-free, anything
+// else picks a mode, an MTBF floor high enough that retries outrun the
+// next crash, and a short repair/backoff scale. Fleet variants all
+// share the plan, so fault timing joins the axes the equivalence
+// assertions must hold across.
+func fuzzFaultPlan(fault uint16) *serve.FaultPlan {
+	if fault == 0 {
+		return nil
+	}
+	return &serve.FaultPlan{
+		Seed: uint64(fault)*2654435761 + 1,
+		Groups: []serve.FaultGroup{{
+			Spec:        -1,
+			Mode:        serve.FaultMode(int(fault) % 3),
+			MTBFSeconds: 0.2 + float64((fault>>8)&63)/128,
+			MTTRSeconds: float64((fault>>2)&63) / 1024,
+			Slowdown:    2,
+			LinkFactor:  4,
+		}},
+		MaxRetries:     int(fault>>14) - 1, // -1 (unlimited) .. 2
+		BackoffSeconds: float64(fault&3) / 512,
+	}
+}
+
 func FuzzDESSchedule(f *testing.F) {
-	f.Add(uint64(1), uint8(4), uint8(0), uint8(0))
-	f.Add(uint64(42), uint8(8), uint8(3), uint8(5))
-	f.Add(uint64(7), uint8(11), uint8(9), uint8(255))
-	f.Add(uint64(0xdeadbeef), uint8(12), uint8(7), uint8(42))
-	f.Fuzz(func(t *testing.T, seed uint64, nn, mix, shape uint8) {
+	f.Add(uint64(1), uint8(4), uint8(0), uint8(0), uint16(0))
+	f.Add(uint64(42), uint8(8), uint8(3), uint8(5), uint16(0))
+	f.Add(uint64(7), uint8(11), uint8(9), uint8(255), uint16(0))
+	f.Add(uint64(0xdeadbeef), uint8(12), uint8(7), uint8(42), uint16(0))
+	f.Add(uint64(9), uint8(10), uint8(6), uint8(255), uint16(768)) // crash storm, autoscaled branch on
+	f.Add(uint64(3), uint8(6), uint8(4), uint8(112), uint16(277))  // slowdown on a disaggregated fleet
+	f.Fuzz(func(t *testing.T, seed uint64, nn, mix, shape uint8, fault uint16) {
 		arr := fuzzSchedule(seed, nn, mix)
 
 		// Classic path: replicas 1..3, load-oblivious and load-aware
@@ -126,6 +153,7 @@ func FuzzDESSchedule(f *testing.F) {
 				Interconnect: timing.DefaultInterconnect(),
 				Migrate:      shape&16 != 0,
 				Steal:        shape&32 != 0,
+				Faults:       fuzzFaultPlan(fault),
 				SingleStep:   single,
 				LeapHorizon:  horizon,
 				SLO:          serve.SLO{TTFT: 1, TBT: 0.2},
@@ -140,14 +168,14 @@ func FuzzDESSchedule(f *testing.F) {
 		}
 
 		// Autoscaled fleet: provisions, warmups and drains churn the
-		// scheduler's index membership mid-run. At every advancement
-		// granularity, the indexed O(log n) placement path must produce
-		// the same bytes as the linear []FleetLoad scan it replaced —
-		// hiddenIndex forces the fallback for the same built-in policy.
-		// (Leap vs single-step equivalence of the autoscaler itself is
-		// NOT asserted here: scale decisions are evaluated after every
-		// engine call, so their timing is evaluation-density-sensitive —
-		// a pre-existing property, see ROADMAP.)
+		// scheduler's index membership mid-run. Scale decisions fire
+		// only at heap events (arrivals, completions, faults, retries
+		// and explicit evScaleEval timers), so autoscaled runs are
+		// leap-invariant like every other configuration — single-step
+		// must match leap, and at every granularity the indexed
+		// O(log n) placement path must produce the same bytes as the
+		// linear []FleetLoad scan it replaced (hiddenIndex forces the
+		// fallback for the same built-in policy).
 		if shape&128 != 0 {
 			auto := func(single bool, hide bool) serve.Config {
 				cfg := fleet(single, 0)
@@ -162,12 +190,12 @@ func FuzzDESSchedule(f *testing.F) {
 				}
 				return cfg
 			}
-			for _, single := range []bool{false, true} {
-				idx, okI := runVariant(t, auto(single, false), arr)
-				lin, okL := runVariant(t, auto(single, true), arr)
-				if okI != okL || idx != lin {
-					t.Errorf("autoscaled indexed placement diverged from linear scan (single=%v):\n indexed (%v) %s\n linear  (%v) %s",
-						single, okI, idx, okL, lin)
+			ref, okRef := runVariant(t, auto(false, false), arr)
+			for _, v := range []struct{ single, hide bool }{{false, true}, {true, false}, {true, true}} {
+				got, ok := runVariant(t, auto(v.single, v.hide), arr)
+				if ok != okRef || got != ref {
+					t.Errorf("autoscaled variant diverged (single=%v hidden-index=%v):\n ref (%v) %s\n got (%v) %s",
+						v.single, v.hide, okRef, ref, ok, got)
 				}
 			}
 		}

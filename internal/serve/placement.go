@@ -145,12 +145,14 @@ func (p *roundRobinFit) Place(_ workload.Request, loads []FleetLoad) int {
 // set (keyed by replica index): entries at or after the cursor first,
 // then wrapping to those before it. The linear probe visited non-online
 // replicas too, but they never fit, so skipping them is identical; the
-// cursor advances only on a successful placement, as in Place.
+// cursor advances only on a successful placement, as in Place. Degraded
+// replicas stay in the online index (they are online), so the probe
+// skips them explicitly, matching the snapshot's Fits=false.
 func (p *roundRobinFit) placeIndexed(fs *fleetSim, r workload.Request) int {
 	start := p.next % len(fs.decoders)
 	dst := -1
 	probe := func(i int) bool {
-		if !fs.decoders[i].eng.HasHeadroom(r) {
+		if fs.degraded(i) || !fs.decoders[i].eng.HasHeadroom(r) {
 			return true
 		}
 		dst = i

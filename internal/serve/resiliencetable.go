@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+
+	"pimphony/internal/sweep"
+	"pimphony/internal/tablefmt"
+	"pimphony/internal/workload"
+)
+
+// ResiliencePoint is one cell of a fault-injection sweep: a fleet
+// composition serving an arrival pattern under a named fault schedule,
+// either fixed or autoscaled. Points with a nil plan are the mode's
+// zero-fault baseline; every faulted row's goodput is reported relative
+// to it.
+type ResiliencePoint struct {
+	// Name labels the row's fault schedule (e.g. "none",
+	// "crash mtbf=20s mttr=1s").
+	Name  string
+	Specs []ReplicaSpec
+	// AutoscalerName is an AutoscalerNames() entry, built fresh per
+	// run; "" runs the fleet fixed.
+	AutoscalerName string
+	// PlacementName is a PlacementNames() entry, built fresh per run;
+	// "" = kv-headroom.
+	PlacementName string
+	// Faults is the row's fault schedule; nil marks the mode's
+	// zero-fault baseline row.
+	Faults *FaultPlan
+	// Cfg carries the scheduler knobs (Interconnect, Migrate, Steal);
+	// Fleet, SLO, Placement, Autoscaler and Faults are filled in per
+	// point.
+	Cfg Config
+	// Arrivals builds the point's schedule; it must be deterministic,
+	// so the table is byte-identical at any sweep parallelism.
+	Arrivals func() ([]workload.Arrival, error)
+}
+
+// ResilienceTable evaluates fault-injection points through the parallel
+// sweep engine and renders the resilience comparison: the failure and
+// retry activity (crashes, retries, permanently failed requests, KV
+// lost to crashes, replica downtime) next to what it cost — goodput
+// retained against the same mode's zero-fault baseline, tail TTFT
+// inflation, and SLO-compliant tokens per dollar. The retained% column
+// is computed after the sweep from the baseline rows, so point order
+// within a mode is free; rows render in point order.
+func ResilienceTable(ctx context.Context, title string, pts []ResiliencePoint, slo SLO,
+	opts ...sweep.Option) (*tablefmt.Table, error) {
+	t := tablefmt.New(title,
+		"mode", "faults", "crashes", "retries", "failed", "lost-kv(MiB)",
+		"down(s)", "goodput", "retained%", "ttft-p99", "goodtok/$")
+	type cell struct {
+		mode    string
+		rep     *Report
+		baseRow bool
+	}
+	cells, err := sweep.Rows(ctx, pts, func(ctx context.Context, p ResiliencePoint) ([]any, error) {
+		cfg := p.Cfg
+		cfg.Fleet = p.Specs
+		cfg.SLO = slo
+		cfg.Faults = p.Faults
+		plName := p.PlacementName
+		if plName == "" {
+			plName = "kv-headroom"
+		}
+		pl, err := PlacementByName(plName)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Placement = pl
+		mode := "fixed"
+		if p.AutoscalerName != "" {
+			auto, err := AutoscalerByName(p.AutoscalerName)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Autoscaler = auto
+			mode = p.AutoscalerName
+		}
+		arr, err := p.Arrivals()
+		if err != nil {
+			return nil, err
+		}
+		rep, err := Run(ctx, cfg, arr)
+		if err != nil {
+			return nil, fmt.Errorf("resilience %s/%s: %w", p.Name, mode, err)
+		}
+		return []any{cell{mode, rep, p.Faults == nil}}, nil
+	}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	baseline := map[string]float64{}
+	for _, row := range cells {
+		if c := row[0].(cell); c.baseRow {
+			baseline[c.mode] = c.rep.Goodput
+		}
+	}
+	for i, row := range cells {
+		c := row[0].(cell)
+		retained := 100.0
+		if base := baseline[c.mode]; base > 0 {
+			retained = 100 * c.rep.Goodput / base
+		}
+		f := c.rep.Faults
+		if f == nil {
+			f = &FaultStats{}
+		}
+		t.AddRow(c.mode, pts[i].Name, f.Crashes, f.Retries, f.Failed,
+			float64(f.LostKVBytes)/(1<<20), f.DowntimeSeconds,
+			c.rep.Goodput, retained, 1e3*c.rep.TTFT.P99,
+			c.rep.Energy.GoodTokensPerDollar)
+	}
+	return t, nil
+}

@@ -134,6 +134,11 @@ type Config struct {
 	// event (0 = the fleetLeapHorizon default). Reports are identical
 	// at any value; only simulation granularity changes.
 	LeapHorizon int
+	// Faults injects deterministic replica failures — crashes, transient
+	// slowdowns, interconnect degradation — compiled into explicit heap
+	// events (see faults.go). Fleet mode only; nil or an empty plan
+	// reproduces the fault-free run byte-for-byte.
+	Faults *FaultPlan
 }
 
 // Validate reports configuration errors.
@@ -148,6 +153,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("serve: Policy is required")
 	case c.Autoscaler != nil:
 		return fmt.Errorf("serve: Autoscaler requires fleet mode (set Fleet specs)")
+	case c.Faults.active():
+		return fmt.Errorf("serve: Faults require fleet mode (set Fleet specs)")
 	}
 	return nil
 }
@@ -300,6 +307,10 @@ type Report struct {
 	// scheduler actions, joules/token — and is nil for the load-balanced
 	// path.
 	Fleet *FleetStats
+	// Faults carries the failure-and-recovery accounting — crashes,
+	// retries, permanently failed requests, lost KV, downtime — and is
+	// nil unless the run injected faults (see faults.go).
+	Faults *FaultStats
 }
 
 // sim is the load-balanced path on the discrete-event spine: identical
@@ -454,6 +465,11 @@ func foldReport(recs map[int]*record, arrivals []workload.Arrival, slo SLO, poli
 	// Iterate in arrival order for deterministic accumulation.
 	for _, a := range arrivals {
 		rec := recs[a.Req.ID]
+		if rec.failed {
+			// Retry budget exhausted (faults.go): no latency sample, no
+			// tokens, counts against SLO attainment via the denominator.
+			continue
+		}
 		if rec.done == 0 {
 			return nil, fmt.Errorf("serve: request %d never completed", a.Req.ID)
 		}
@@ -505,6 +521,9 @@ func foldReport(recs map[int]*record, arrivals []workload.Arrival, slo SLO, poli
 		c.Preemptions += st.Preemptions
 		c.BlockedSeconds += st.BlockedSeconds
 		c.RecomputeSeconds += st.RecomputeSeconds
+	}
+	if lastDone < firstArrival {
+		lastDone = firstArrival // every request failed; an empty makespan
 	}
 	rep.MakespanSeconds = lastDone - firstArrival
 	if rep.MakespanSeconds > 0 {

@@ -62,6 +62,7 @@ type fleetViews struct {
 	queued, activeSum                 int
 	freeSum, poolSum                  int64
 	onlineCnt, warmingCnt, standbyCnt int
+	failedCnt                         int
 
 	// thiefScratch and loadScratch are reused per-decision buffers: the
 	// steal loop's thief snapshot and the []FleetLoad build for custom
@@ -122,22 +123,31 @@ func (fs *fleetSim) touch(i int) {
 	v.activeSum += active - v.active[i]
 	v.freeSum += free - v.free[i]
 	v.pending[i], v.active[i], v.free[i] = pending, active, free
-	v.byFreeKV.set(i, -free)
-	v.byTokens.set(i, int64(eng.OutstandingTokens()))
+	if fs.degraded(i) {
+		// A slowdown-degraded replica leaves the placement and
+		// migration-target indexes — new work routes around it while its
+		// admitted batch limps on — but keeps its aggregate contributions
+		// (it is online and still serving) and stays a steal source.
+		v.byFreeKV.remove(i)
+		v.byTokens.remove(i)
+	} else {
+		v.byFreeKV.set(i, -free)
+		v.byTokens.set(i, int64(eng.OutstandingTokens()))
+	}
 	if active > 0 && pending > 0 {
 		v.stealSrc.set(i, -int64(pending))
 	} else {
 		v.stealSrc.remove(i)
 	}
-	if eng.Idle() && fs.incoming[i] == 0 {
+	idle := eng.Idle() && fs.incoming[i] == 0
+	if idle && !fs.degraded(i) {
 		v.thieves.set(i, int64(i))
-		if fs.landing[i] == 0 {
-			v.drainable.set(i, int64(i))
-		} else {
-			v.drainable.remove(i)
-		}
 	} else {
 		v.thieves.remove(i)
+	}
+	if idle && fs.landing[i] == 0 {
+		v.drainable.set(i, int64(i))
+	} else {
 		v.drainable.remove(i)
 	}
 }
@@ -168,6 +178,8 @@ func (fs *fleetSim) setState(i int, st replState) {
 	case stateOffline:
 		v.standbyCnt--
 		v.standby.remove(i)
+	case stateFailed:
+		v.failedCnt--
 	}
 	fs.state[i] = st
 	switch st {
@@ -181,6 +193,8 @@ func (fs *fleetSim) setState(i int, st replState) {
 	case stateOffline:
 		v.standbyCnt++
 		v.standby.set(i, int64(i))
+	case stateFailed:
+		v.failedCnt++
 	}
 }
 

@@ -283,14 +283,21 @@ func auditDecisions(t *testing.T, op int, fs *fleetSim, r workload.Request, now 
 			want.Warming++
 		case stateOffline:
 			want.Standby++
+		case stateFailed:
+			want.Failed++
 		}
 	}
 	if pool > 0 {
 		want.FreeKVFrac = float64(free) / float64(pool)
 	}
+	want.Waiting = len(fs.waiting)
+	want.OldestArrival = math.Inf(1)
 	for _, rec := range fs.waiting {
 		if w := now - rec.arrival; w > want.OldestWaitSeconds {
 			want.OldestWaitSeconds = w
+		}
+		if rec.arrival < want.OldestArrival {
+			want.OldestArrival = rec.arrival
 		}
 	}
 	if got := fs.view(now); got != want {

@@ -131,8 +131,17 @@ func TightSchedule(n int) ([]workload.Arrival, error) {
 // matter the configuration, discipline or schedule that produced it.
 func CheckInvariants(tb testing.TB, rep *serve.Report, arrivals []workload.Arrival) {
 	tb.Helper()
-	// Conservation: every arrival is served exactly once, and each
+	// Conservation: every arrival is served exactly once — except
+	// requests fault injection permanently failed (retry budget
+	// exhausted), which own no replica and no latency sample — and each
 	// completed request is owned by exactly one replica.
+	served := len(arrivals)
+	if rep.Faults != nil {
+		if rep.Faults.Failed < 0 || rep.Faults.Failed > len(arrivals) {
+			tb.Errorf("faults: %d failed requests for %d arrivals", rep.Faults.Failed, len(arrivals))
+		}
+		served -= rep.Faults.Failed
+	}
 	if rep.Requests != len(arrivals) {
 		tb.Errorf("conservation: %d requests reported for %d arrivals", rep.Requests, len(arrivals))
 	}
@@ -144,14 +153,14 @@ func CheckInvariants(tb testing.TB, rep *serve.Report, arrivals []workload.Arriv
 	for _, a := range arrivals {
 		maxToks += a.Req.Decode
 	}
-	if reqs != len(arrivals) {
-		tb.Errorf("conservation: per-replica requests sum to %d, want %d", reqs, len(arrivals))
+	if reqs != served {
+		tb.Errorf("conservation: per-replica requests sum to %d, want %d", reqs, served)
 	}
-	// Tokens: at least one per request (admission implies a first
-	// token), at most the requested generation length (T_max may
+	// Tokens: at least one per completed request (admission implies a
+	// first token), at most the requested generation length (T_max may
 	// truncate below it, never above).
-	if toks < len(arrivals) || toks > maxToks {
-		tb.Errorf("conservation: %d tokens generated for %d requests asking %d", toks, len(arrivals), maxToks)
+	if toks < served || toks > maxToks {
+		tb.Errorf("conservation: %d tokens generated for %d completed requests asking %d", toks, served, maxToks)
 	}
 	// Clock order: arrival <= first token <= completion holds per
 	// request, so the aggregates obey TTFT >= 0, TBT >= 0 and
@@ -172,7 +181,7 @@ func CheckInvariants(tb testing.TB, rep *serve.Report, arrivals []workload.Arriv
 			tb.Errorf("clock order: E2E %s %g below TTFT %s %g", rank.name, rank.e2e, rank.name, rank.ttft)
 		}
 	}
-	if rep.MakespanSeconds <= 0 {
+	if served > 0 && rep.MakespanSeconds <= 0 {
 		tb.Errorf("makespan %g, want positive", rep.MakespanSeconds)
 	}
 	if rep.Goodput > rep.Throughput {
